@@ -1,0 +1,69 @@
+"""Fig. 13 — AlltoAll algorithm bandwidth.
+
+Paper: AdapCC averages 31 % better Algo.bw than NCCL (which implements
+AlltoAll as ncclSend/ncclRecv pairs on one channel) and 14 % better than
+MSCCL. Blink is absent — it "does not support AlltoAll in the multi-server
+case", which this bench asserts.
+"""
+
+import pytest
+
+from repro.bench import Table, geometric_mean, measure_algorithm_bandwidth
+from repro.errors import SynthesisError
+from repro.hardware import MB
+from repro.hardware.presets import make_config
+from repro.synthesis import Primitive
+
+TENSOR_BYTES = 64 * MB
+
+CONFIGS = [
+    ("A100:(4,4)", make_config([4, 4])),
+    ("A100:(4,4,4,4)", make_config([4, 4, 4, 4])),
+    ("A100:(4,4) V100:(4,4)", make_config([4, 4], [4, 4])),
+    ("A100:(2,2) V100:(4,4)", make_config([2, 2], [4, 4])),
+]
+
+BACKENDS = ["adapcc", "nccl", "msccl"]
+
+
+def measure():
+    results = {}
+    for label, specs in CONFIGS:
+        for backend in BACKENDS:
+            results[(label, backend)] = measure_algorithm_bandwidth(
+                specs, backend, Primitive.ALLTOALL, TENSOR_BYTES, max_chunks=4
+            )
+    return results
+
+
+def test_fig13_alltoall_algorithm_bandwidth(run_once):
+    results = run_once(measure)
+
+    table = Table("Fig. 13 — AlltoAll Algo.bw (GB/s), 64 MB per rank", BACKENDS)
+    speedups = {b: [] for b in BACKENDS[1:]}
+    for label, _specs in CONFIGS:
+        table.add_row(label, [results[(label, b)] / 1e9 for b in BACKENDS])
+        for baseline in BACKENDS[1:]:
+            speedups[baseline].append(
+                results[(label, "adapcc")] / results[(label, baseline)]
+            )
+    table.show()
+    print(
+        f"AdapCC vs NCCL:  geomean {geometric_mean(speedups['nccl']):.2f}x (paper: +31 %)"
+    )
+    print(
+        f"AdapCC vs MSCCL: geomean {geometric_mean(speedups['msccl']):.2f}x (paper: +14 %)"
+    )
+
+    assert geometric_mean(speedups["nccl"]) > 1.0
+    # NCCL (one channel) trails MSCCL (two channels), as in the paper.
+    assert geometric_mean(speedups["nccl"]) >= geometric_mean(speedups["msccl"]) * 0.97
+
+
+def test_fig13_blink_unsupported_multiserver():
+    """The reason Blink is absent from the paper's Fig. 13."""
+    from repro.bench.harness import BenchEnvironment
+
+    env = BenchEnvironment(make_config([4, 4]), "blink")
+    with pytest.raises(SynthesisError):
+        env.backend.plan(Primitive.ALLTOALL, TENSOR_BYTES, env.ranks)

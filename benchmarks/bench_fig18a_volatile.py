@@ -1,0 +1,113 @@
+"""Fig. 18(a) — makespan under volatile network bandwidth.
+
+The paper replays its cloud trace onto four A100 servers' NICs with tc,
+amplifying the bandwidth swings by a factor x, trains 10^4 iterations with
+a 500-iteration profiling period, and reports AdapCC's makespan reduction
+over NCCL growing with x.
+
+Reproduction note (see EXPERIMENTS.md): our NCCL model's single channel
+under-saturates the NICs, which makes it largely *insensitive* to mild
+shaping — so the NCCL-relative reduction does not grow here the way the
+paper's does. The adaptivity payoff itself is isolated by a third series,
+AdapCC with profiling disabled (the strategy stays synthesized from the
+unshaped profile): the gap between static and re-profiling AdapCC widens
+with volatility, which is the paper's underlying claim.
+"""
+
+import pytest
+
+from repro.bench import Series, measure_training
+from repro.hardware import make_homo_cluster
+from repro.network.shaping import TraceShaper
+from repro.network.traces import generate_cloud_trace
+from repro.training import VGG16
+from repro.training.trainer import TrainerConfig
+
+AMPLIFICATIONS = [0.0, 1.0, 2.0, 3.0]
+ITERATIONS = 24
+PROFILE_PERIOD = 4
+
+
+def shaper_factory(amplification):
+    """Cross-traffic concentrated on two of the four servers.
+
+    As in the paper's Fig. 2 scenario (and in shared clusters generally),
+    contention hits *specific* servers: instances 1 and 2 replay deep
+    regions of the cloud trace while 0 and 3 stay clean. The asymmetry is
+    what re-profiling can route around; symmetric shaping would slow every
+    strategy equally.
+    """
+    if amplification == 0.0:
+        return None
+
+    def factory(cluster):
+        trace = generate_cloud_trace(duration=600.0, seed=5)
+        return TraceShaper(
+            cluster,
+            trace,
+            interval=0.5,
+            amplification=amplification,
+            instance_ids=[1, 2],
+            offsets=[40.0, 250.0],
+        )
+
+    return factory
+
+
+def measure():
+    systems = {
+        "adapcc": ("adapcc", PROFILE_PERIOD),
+        "adapcc-static": ("adapcc", None),
+        "nccl": ("nccl", None),
+    }
+    results = {}
+    for x in AMPLIFICATIONS:
+        for label, (backend, period) in systems.items():
+            config = TrainerConfig(
+                iterations=ITERATIONS,
+                seed=41,
+                profile_period=period,
+            )
+            report = measure_training(
+                make_homo_cluster(num_servers=4),
+                backend,
+                VGG16,
+                config,
+                shaper_factory=shaper_factory(x),
+            )
+            results[(x, label)] = report.makespan
+    return results
+
+
+def test_fig18a_makespan_under_volatility(run_once):
+    results = run_once(measure)
+
+    series = Series(
+        "Fig. 18a — VGG16 makespan vs bandwidth-volatility amplification x",
+        "x",
+        "makespan (s)",
+    )
+    series.set_x(AMPLIFICATIONS)
+    for label in ("adapcc", "adapcc-static", "nccl"):
+        series.add(label, [results[(x, label)] for x in AMPLIFICATIONS])
+    reductions = [
+        1.0 - results[(x, "adapcc")] / results[(x, "nccl")] for x in AMPLIFICATIONS
+    ]
+    series.add("reduction vs nccl", reductions)
+    adaptivity = [
+        results[(x, "adapcc-static")] / results[(x, "adapcc")] for x in AMPLIFICATIONS
+    ]
+    series.add("re-profiling gain", adaptivity)
+    series.show()
+    print(
+        "paper: reduction grows with x; here NCCL's single channel is "
+        "shaping-insensitive, so the adaptivity payoff is read off the "
+        "re-profiling gain instead (see EXPERIMENTS.md)"
+    )
+
+    # Shapes: AdapCC stays well ahead of NCCL at every volatility level,
+    # and re-profiling pays more the more volatile the network is.
+    assert all(results[(x, "adapcc")] < results[(x, "nccl")] for x in AMPLIFICATIONS)
+    assert all(r > 0.2 for r in reductions)
+    assert adaptivity[-1] > adaptivity[0] - 1e-9
+    assert adaptivity[-1] > 1.0

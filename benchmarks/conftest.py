@@ -1,0 +1,20 @@
+"""Shared plumbing for the figure benchmarks.
+
+Every benchmark runs its measurement exactly once (simulations are
+deterministic; pytest-benchmark's statistical repetition would only
+re-measure identical numbers) and prints the same rows/series the paper's
+figure reports. Assertions pin the *shape* — who wins, roughly by how
+much — not absolute numbers, per DESIGN.md §2.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a measurement function once under pytest-benchmark."""
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

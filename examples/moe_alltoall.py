@@ -1,0 +1,61 @@
+"""Mixture-of-Experts token dispatch with AlltoAll (paper Sec. VI-D, MoE).
+
+The paper's MoE workload (fastMoE, one expert per GPU, two linear layers)
+replaces NCCL P2P with ``adapcc.alltoall()`` for token dispatching. This
+example runs the dispatch/combine AlltoAll pair on a simulated cluster,
+verifies the token routing end to end, and compares AdapCC's AlltoAll
+against the NCCL-style send/recv baseline.
+
+Run:  python examples/moe_alltoall.py
+"""
+
+import numpy as np
+
+from repro import AdapCCSession, Primitive
+from repro.bench.harness import BenchEnvironment
+from repro.hardware import MB, make_homo_cluster
+
+
+def main() -> None:
+    world = 8
+    tokens_per_pair = 64  # tokens each worker routes to each expert
+    length = world * tokens_per_pair
+
+    print("== MoE token dispatch on 2x4xA100 (one expert per GPU) ==\n")
+    session = AdapCCSession(make_homo_cluster(num_servers=2)).init()
+    session.setup()
+
+    # Each worker's tokens, grouped by destination expert (block layout).
+    rng = np.random.default_rng(0)
+    tokens = {rank: rng.standard_normal(length) for rank in range(world)}
+
+    # Dispatch: expert e receives every worker's block e.
+    scale = 64 * MB / (length * 8)
+    dispatch = session.alltoall(tokens, byte_scale=scale)
+    print(f"dispatch AlltoAll (64 MB scaled): {dispatch.duration * 1e3:.2f} ms")
+
+    # 'Expert computation': each expert transforms the tokens it received.
+    processed = {rank: dispatch.outputs[rank] * 2.0 for rank in range(world)}
+
+    # Combine: tokens return to their source workers.
+    combine = session.alltoall(processed, byte_scale=scale)
+    print(f"combine  AlltoAll (64 MB scaled): {combine.duration * 1e3:.2f} ms")
+
+    # End-to-end check: every token came back doubled, in place.
+    for rank in range(world):
+        np.testing.assert_allclose(combine.outputs[rank], tokens[rank] * 2.0)
+    print("token routing verified: combine(expert(dispatch(x))) == 2x\n")
+
+    # Compare against NCCL's P2P-based AlltoAll.
+    env = BenchEnvironment(make_homo_cluster(num_servers=2), "nccl")
+    nccl = env.backend.plan_and_run(Primitive.ALLTOALL, tokens, env.ranks)
+    # Scale NCCL's duration measurement to the same simulated volume.
+    strategy = env.backend.plan(Primitive.ALLTOALL, 64 * MB, env.ranks)
+    nccl_scaled = env.backend.run(strategy, tokens, byte_scale=scale)
+    print(f"NCCL send/recv AlltoAll:          {nccl_scaled.duration * 1e3:.2f} ms")
+    print(f"AdapCC speedup: {nccl_scaled.duration / dispatch.duration:.2f}x "
+          "(paper Fig. 13: +31 % on average)")
+
+
+if __name__ == "__main__":
+    main()

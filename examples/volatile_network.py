@@ -1,0 +1,68 @@
+"""Adapting to a volatile cloud network (paper Sec. II-B / VI-D).
+
+A cloud bandwidth trace (34 % peak-to-trough degradation, as the paper
+measures over 6 hours) is replayed onto the simulated NICs while an AdapCC
+session keeps training-style AllReduces flowing. Periodic re-profiling
+lets the synthesizer reroute around the currently-degraded server —
+without checkpointing or restarting anything. The same workload on a
+static strategy (profiling disabled) shows the cost of not adapting.
+
+Run:  python examples/volatile_network.py
+"""
+
+import numpy as np
+
+from repro import AdapCCSession
+from repro.hardware import MB, make_homo_cluster
+from repro.network.shaping import TraceShaper
+from repro.network.traces import generate_cloud_trace
+
+
+def run_session(adaptive: bool, rounds: int = 12) -> float:
+    session = AdapCCSession(make_homo_cluster(num_servers=4)).init()
+    session.setup()
+    if adaptive:
+        session.profile(period=3)  # re-profile every 3 collectives
+
+    # Cross-traffic concentrates on specific servers (as in a shared
+    # cluster): instances 1 and 2 see the amplified trace, 0 and 3 stay
+    # clean — the asymmetry adaptive routing can exploit.
+    trace = generate_cloud_trace(duration=600.0, seed=5)
+    shaper = TraceShaper(
+        session.cluster,
+        trace,
+        interval=0.25,
+        amplification=2.5,
+        instance_ids=[1, 2],
+        offsets=[40.0, 250.0],
+    )
+    shaper.start()
+
+    ranks = [gpu.rank for gpu in session.cluster.gpus]
+    length = 4096
+    tensors = {rank: np.ones(length) for rank in ranks}
+    scale = 128 * MB / (length * 8)
+
+    total = 0.0
+    for _ in range(rounds):
+        result = session.allreduce(tensors, byte_scale=scale, adaptive=False)
+        total += result.duration
+        # Let some trace time pass between iterations, as compute would.
+        session.sim.run(until=session.sim.now + 2.0)
+    shaper.stop()
+    return total / rounds
+
+
+def main() -> None:
+    print("== 128 MB AllReduce under an amplified cloud bandwidth trace ==\n")
+    adaptive = run_session(adaptive=True)
+    static = run_session(adaptive=False)
+    print(f"mean AllReduce time, re-profiling every 3 collectives: {adaptive * 1e3:8.2f} ms")
+    print(f"mean AllReduce time, static initial strategy:          {static * 1e3:8.2f} ms")
+    print(f"\nadaptivity speedup: {static / adaptive:.2f}x")
+    print("(re-profiling lets the synthesizer avoid the currently-shaped NICs;")
+    print(" the static strategy keeps pushing traffic through them)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro — a reproduction of AdapCC (ICDCS 2024) on a simulated GPU cluster.
+
+AdapCC is an adaptive collective-communication library for distributed
+training: it detects the cluster topology, profiles links on the fly,
+synthesizes communication strategies (routing, chunk size, aggregation
+control) from the measurements, and uses a ski-rental coordinator to
+trade waiting for stragglers against partial communication with relays.
+
+Quick start::
+
+    import numpy as np
+    from repro import AdapCCSession
+    from repro.hardware import make_hetero_cluster
+
+    session = AdapCCSession(make_hetero_cluster()).init()
+    session.setup()
+    tensors = {rank: np.ones(1024) for rank in range(16)}
+    result = session.allreduce(tensors)
+    print(result.outputs[0][:4], result.duration)
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.simulation` — discrete-event engine + fluid network (the
+  testbed substitute);
+* :mod:`repro.hardware` — cluster models and the paper's testbed presets;
+* :mod:`repro.topology`, :mod:`repro.profiling` — detection and α–β
+  profiling;
+* :mod:`repro.synthesis` — the strategy synthesizer (core contribution);
+* :mod:`repro.runtime` — the communicator executing strategies with real
+  payloads;
+* :mod:`repro.relay` — ski-rental relay control and fault recovery;
+* :mod:`repro.baselines` — NCCL / MSCCL / Blink models;
+* :mod:`repro.training` — workload models and the trainer loop;
+* :mod:`repro.bench` — measurement harness used by ``benchmarks/``.
+"""
+
+from repro.adapcc import AdapCCSession
+from repro.synthesis.strategy import Primitive
+
+__version__ = "0.1.0"
+
+__all__ = ["AdapCCSession", "Primitive", "__version__"]

@@ -1,0 +1,220 @@
+"""The AdapCC user-facing session API (paper Sec. VI-A).
+
+Mirrors how a training script uses the real library::
+
+    import adapcc
+    adapcc.init()        # detect topology, profile links, build strategies
+    adapcc.setup()       # register buffers / transmission contexts
+    ...
+    adapcc.allreduce(tensor)
+    adapcc.profile(period=500)   # periodic re-profiling
+
+Here the session owns a simulated cluster instead of real GPUs::
+
+    from repro import AdapCCSession
+    from repro.hardware import make_hetero_cluster
+
+    session = AdapCCSession(make_hetero_cluster())
+    session.init()
+    session.setup()
+    out = session.allreduce({rank: tensor for rank, tensor in ...})
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.hardware.cluster import Cluster
+from repro.hardware.instance import InstanceSpec
+from repro.profiling.profiler import Profiler
+from repro.relay.coordinator import AdaptiveAllReduce
+from repro.runtime.collectives import (
+    CollectiveResult,
+    run_allgather,
+    run_allreduce,
+    run_alltoall,
+    run_broadcast,
+    run_reduce,
+    run_reduce_scatter,
+)
+from repro.runtime.context import ContextManager, TransmissionContext
+from repro.simulation.engine import Simulator
+from repro.synthesis.optimizer import Synthesizer, SynthesizerConfig
+from repro.synthesis.strategy import Primitive, Strategy
+from repro.topology.detector import DetectionReport, Detector
+from repro.topology.graph import LogicalTopology
+
+
+class AdapCCSession:
+    """One training job's AdapCC instance on a simulated cluster."""
+
+    def __init__(
+        self,
+        instance_specs: Sequence[InstanceSpec],
+        config: Optional[SynthesizerConfig] = None,
+        seed: int = 0,
+    ):
+        self.sim = Simulator()
+        self.cluster = Cluster(self.sim, instance_specs)
+        self.config = config
+        self.seed = seed
+        self.topology: Optional[LogicalTopology] = None
+        self.detection: Optional[DetectionReport] = None
+        self.profiler: Optional[Profiler] = None
+        self.synthesizer: Optional[Synthesizer] = None
+        self.contexts: Optional[ContextManager] = None
+        self.adaptive: Optional[AdaptiveAllReduce] = None
+        self._strategies: Dict = {}
+        self._active_contexts: List[TransmissionContext] = []
+        self._profile_period: Optional[int] = None
+        self._collectives_run = 0
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def init(self) -> "AdapCCSession":
+        """Detect topology, build the logical graph, run the first
+        profiling pass, and create the synthesizer (``adapcc.init()``)."""
+        detector = Detector(self.cluster)
+        self.detection = detector.detect()
+        self.topology = LogicalTopology.from_cluster(
+            self.cluster, nvlink_pairs=self.detection.nvlink_pairs_by_instance()
+        )
+        self.profiler = Profiler(self.topology)
+        self.profiler.profile()
+        self.synthesizer = Synthesizer(self.topology, self.config)
+        self.adaptive = AdaptiveAllReduce(self.topology, seed=self.seed)
+        return self
+
+    def setup(self) -> float:
+        """Create the context manager (``adapcc.setup()``); returns the
+        simulated seconds the set-up consumed (0 until strategies exist —
+        contexts are set up lazily per strategy)."""
+        self._require_init()
+        self.contexts = ContextManager(self.cluster)
+        return 0.0
+
+    def profile(self, period: int) -> None:
+        """Enable periodic re-profiling every ``period`` collectives
+        (``adapcc.profile()``)."""
+        if period < 1:
+            raise ReproError("profiling period must be >= 1")
+        self._profile_period = period
+
+    def reprofile_now(self) -> None:
+        """Force a profiling pass and invalidate cached strategies."""
+        self._require_init()
+        self.profiler.profile()
+        self._strategies.clear()
+
+    def scale_out(self, spec: InstanceSpec) -> List[int]:
+        """Elastic scaling: attach a new instance mid-job (Sec. IV-A).
+
+        Re-runs detection (the new instance's workers trigger the
+        Detector), rebuilds the logical topology, re-profiles, and drops
+        cached strategies so the next collective includes the new ranks —
+        no restart. Returns the new global ranks.
+        """
+        self._require_init()
+        instance = self.cluster.add_instance(spec)
+        detector = Detector(self.cluster)
+        self.detection = detector.detect()
+        self.topology = LogicalTopology.from_cluster(
+            self.cluster, nvlink_pairs=self.detection.nvlink_pairs_by_instance()
+        )
+        self.profiler = Profiler(self.topology)
+        self.profiler.profile()
+        self.synthesizer = Synthesizer(self.topology, self.config)
+        self.adaptive = AdaptiveAllReduce(self.topology, seed=self.seed)
+        if self.contexts is not None:
+            self.contexts = ContextManager(self.cluster)
+        self._strategies.clear()
+        return [gpu.rank for gpu in instance.gpus]
+
+    # -- collectives -------------------------------------------------------------------
+
+    def allreduce(
+        self,
+        tensors: Dict[int, np.ndarray],
+        ready_times: Optional[Dict[int, Optional[float]]] = None,
+        adaptive: bool = True,
+        byte_scale: float = 1.0,
+    ):
+        """AllReduce across all ranks; adaptive relay control by default."""
+        strategy = self._strategy(Primitive.ALLREDUCE, tensors, byte_scale)
+        self._tick()
+        if adaptive and ready_times:
+            return self.adaptive.run(strategy, tensors, ready_times, byte_scale=byte_scale)
+        clean = {r: (t or 0.0) for r, t in (ready_times or {}).items()}
+        return run_allreduce(
+            self.topology, strategy, tensors, ready_times=clean, byte_scale=byte_scale
+        )
+
+    def reduce(self, tensors, root: int = 0, byte_scale: float = 1.0) -> CollectiveResult:
+        """Reduce: the root rank receives the elementwise sum."""
+        strategy = self._strategy(Primitive.REDUCE, tensors, byte_scale, root=root)
+        self._tick()
+        return run_reduce(self.topology, strategy, tensors, byte_scale=byte_scale)
+
+    def broadcast(self, tensors, root: int = 0, byte_scale: float = 1.0) -> CollectiveResult:
+        """Broadcast: every rank receives the root's tensor."""
+        strategy = self._strategy(Primitive.BROADCAST, tensors, byte_scale, root=root)
+        self._tick()
+        return run_broadcast(self.topology, strategy, tensors, byte_scale=byte_scale)
+
+    def alltoall(self, tensors, byte_scale: float = 1.0) -> CollectiveResult:
+        """AlltoAll: rank d's block s is rank s's block d (token dispatch)."""
+        strategy = self._strategy(Primitive.ALLTOALL, tensors, byte_scale)
+        self._tick()
+        return run_alltoall(self.topology, strategy, tensors, byte_scale=byte_scale)
+
+    def allgather(self, tensors, byte_scale: float = 1.0) -> CollectiveResult:
+        """AllGather: every rank receives all shards, in rank order."""
+        strategy = self._strategy(Primitive.ALLGATHER, tensors, byte_scale)
+        self._tick()
+        return run_allgather(self.topology, strategy, tensors, byte_scale=byte_scale)
+
+    def reduce_scatter(self, tensors, byte_scale: float = 1.0) -> CollectiveResult:
+        """ReduceScatter: rank r receives the sum of partition r."""
+        strategy = self._strategy(Primitive.REDUCE_SCATTER, tensors, byte_scale)
+        self._tick()
+        return run_reduce_scatter(self.topology, strategy, tensors, byte_scale=byte_scale)
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _require_init(self) -> None:
+        if self.topology is None:
+            raise ReproError("call session.init() first")
+
+    def _strategy(
+        self,
+        primitive: Primitive,
+        tensors: Dict[int, np.ndarray],
+        byte_scale: float,
+        root: Optional[int] = None,
+    ) -> Strategy:
+        self._require_init()
+        participants = tuple(sorted(tensors))
+        sample = tensors[participants[0]]
+        tensor_size = len(sample) * sample.itemsize * byte_scale
+        key = (primitive, participants, float(tensor_size), root)
+        if key not in self._strategies:
+            strategy = self.synthesizer.synthesize(
+                primitive, tensor_size, list(participants), root=root
+            )
+            if self.contexts is not None:
+                planned = self.contexts.plan_contexts(strategy)
+                self.contexts.setup_all(planned)
+                self._active_contexts.extend(planned)
+            self._strategies[key] = strategy
+        return self._strategies[key]
+
+    def _tick(self) -> None:
+        self._collectives_run += 1
+        if (
+            self._profile_period
+            and self._collectives_run % self._profile_period == 0
+        ):
+            self.reprofile_now()

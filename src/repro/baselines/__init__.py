@@ -1,0 +1,25 @@
+"""Baseline communication backends the paper compares against (Sec. VI-B).
+
+Each backend produces :class:`repro.synthesis.strategy.Strategy` objects
+executed on the *same* simulator and executor as AdapCC, so comparisons
+isolate strategy quality — exactly what the paper's evaluation measures.
+The models encode each system's documented behaviour and the handicaps the
+paper observes (single inter-server channel, empirical bandwidth tables,
+fixed chunk sizes, unpipelined stages); see each module's docstring.
+"""
+
+from repro.baselines.common import Backend, make_backend, available_backends
+from repro.baselines.adapcc_backend import AdapCCBackend
+from repro.baselines.nccl import NcclBackend
+from repro.baselines.msccl import MscclBackend
+from repro.baselines.blink import BlinkBackend
+
+__all__ = [
+    "AdapCCBackend",
+    "Backend",
+    "BlinkBackend",
+    "MscclBackend",
+    "NcclBackend",
+    "available_backends",
+    "make_backend",
+]

@@ -1,0 +1,57 @@
+"""AdapCC as a backend: the synthesizer + profiler behind the common
+benchmark interface.
+
+``refresh()`` re-profiles the topology and drops cached strategies — the
+adaptivity loop the static baselines lack. Strategies are cached per
+(primitive, size, participants, root) between refreshes, matching the real
+system where synthesis runs at profiling periods, not per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.baselines.common import Backend, register_backend
+from repro.profiling.profiler import Profiler
+from repro.synthesis.optimizer import Synthesizer, SynthesizerConfig
+from repro.synthesis.strategy import Primitive, Strategy
+from repro.topology.graph import LogicalTopology
+
+
+@register_backend
+class AdapCCBackend(Backend):
+    """The paper's system: profiled synthesis with strategy caching."""
+
+    name = "adapcc"
+
+    def __init__(
+        self,
+        topology: LogicalTopology,
+        config: Optional[SynthesizerConfig] = None,
+        profile_on_init: bool = True,
+    ):
+        super().__init__(topology)
+        self.synthesizer = Synthesizer(topology, config)
+        self.profiler = Profiler(topology)
+        self._cache: Dict[Tuple, Strategy] = {}
+        if profile_on_init:
+            self.profiler.profile()
+
+    def plan(
+        self,
+        primitive: Primitive,
+        tensor_size: float,
+        participants: Iterable[int],
+        root: Optional[int] = None,
+    ) -> Strategy:
+        key = (primitive, float(tensor_size), tuple(sorted(set(participants))), root)
+        if key not in self._cache:
+            self._cache[key] = self.synthesizer.synthesize(
+                primitive, tensor_size, list(key[2]), root=root
+            )
+        return self._cache[key]
+
+    def refresh(self) -> None:
+        """Re-profile links and invalidate cached strategies (Sec. IV-B)."""
+        self.profiler.profile()
+        self._cache.clear()

@@ -1,0 +1,137 @@
+"""Backend interface shared by AdapCC and the baseline models.
+
+A backend turns (primitive, tensor size, participants) into a strategy and
+executes it. The interface deliberately mirrors how the paper's benchmarks
+drive each library: plan once (or per profiling period for AdapCC), run
+per iteration, measure completion time.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.errors import CommunicatorError
+from repro.runtime.collectives import (
+    CollectiveResult,
+    run_allgather,
+    run_allreduce,
+    run_alltoall,
+    run_broadcast,
+    run_reduce,
+    run_reduce_scatter,
+)
+from repro.synthesis.strategy import Primitive, Strategy
+from repro.topology.graph import LogicalTopology
+
+
+class Backend(abc.ABC):
+    """A communication library under test."""
+
+    #: Display name used in benchmark tables.
+    name: str = "backend"
+
+    def __init__(self, topology: LogicalTopology):
+        self.topology = topology
+
+    @abc.abstractmethod
+    def plan(
+        self,
+        primitive: Primitive,
+        tensor_size: float,
+        participants: Iterable[int],
+        root: Optional[int] = None,
+    ) -> Strategy:
+        """Produce the strategy this backend would use."""
+
+    def refresh(self) -> None:
+        """React to changed network conditions.
+
+        AdapCC re-profiles and re-synthesizes; static baselines do nothing
+        (their strategies are fixed at initialization), which is the
+        adaptivity gap Fig. 18 measures.
+        """
+
+    def run(
+        self,
+        strategy: Strategy,
+        inputs: Dict[int, np.ndarray],
+        active_ranks: Optional[Iterable[int]] = None,
+        ready_times: Optional[Dict[int, float]] = None,
+        byte_scale: float = 1.0,
+        max_chunks: Optional[int] = None,
+    ) -> CollectiveResult:
+        """Execute a planned strategy on this backend's executor."""
+        primitive = strategy.primitive
+        if primitive is Primitive.REDUCE:
+            return run_reduce(
+                self.topology, strategy, inputs, active_ranks, ready_times, byte_scale,
+                max_chunks,
+            )
+        if primitive is Primitive.BROADCAST:
+            return run_broadcast(self.topology, strategy, inputs, ready_times, byte_scale, max_chunks)
+        if primitive is Primitive.ALLREDUCE:
+            return run_allreduce(
+                self.topology,
+                strategy,
+                inputs,
+                active_ranks,
+                ready_times,
+                pipeline_stages=self.pipelines_stages(),
+                byte_scale=byte_scale,
+                max_chunks=max_chunks,
+            )
+        if primitive is Primitive.ALLGATHER:
+            return run_allgather(self.topology, strategy, inputs, ready_times, byte_scale, max_chunks)
+        if primitive is Primitive.REDUCE_SCATTER:
+            return run_reduce_scatter(
+                self.topology, strategy, inputs, active_ranks, ready_times, byte_scale,
+                max_chunks,
+            )
+        if primitive is Primitive.ALLTOALL:
+            return run_alltoall(self.topology, strategy, inputs, ready_times, byte_scale, max_chunks)
+        raise CommunicatorError(f"unsupported primitive {primitive}")
+
+    def pipelines_stages(self) -> bool:
+        """Whether AllReduce's reduce and broadcast stages are pipelined."""
+        return True
+
+    def plan_and_run(
+        self,
+        primitive: Primitive,
+        inputs: Dict[int, np.ndarray],
+        participants: Iterable[int],
+        root: Optional[int] = None,
+        ready_times: Optional[Dict[int, float]] = None,
+    ) -> CollectiveResult:
+        """Convenience: plan then run in one call (micro-benchmarks)."""
+        participants = list(participants)
+        length = len(next(iter(inputs.values())))
+        itemsize = next(iter(inputs.values())).itemsize
+        strategy = self.plan(primitive, length * itemsize, participants, root=root)
+        return self.run(strategy, inputs, ready_times=ready_times)
+
+
+_REGISTRY: Dict[str, type] = {}
+
+
+def register_backend(cls: type) -> type:
+    """Class decorator adding a backend to the registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_backends() -> List[str]:
+    """Names of all registered backends."""
+    return sorted(_REGISTRY)
+
+
+def make_backend(name: str, topology: LogicalTopology, **kwargs) -> Backend:
+    """Instantiate a backend by name ('adapcc', 'nccl', 'msccl', 'blink')."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise CommunicatorError(f"unknown backend {name!r}; have {available_backends()}")
+    return cls(topology, **kwargs)

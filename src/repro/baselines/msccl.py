@@ -1,0 +1,189 @@
+"""MSCCL baseline model (msccl-tools pareto-optimal algorithms on NCCL).
+
+The paper runs MSCCL with the pareto-optimal SCCL algorithms "officially
+recommended by MSCCL, which searches through different latency-bandwidth
+tradeoffs" (Sec. VI-B). The model encodes the observed behaviour:
+
+* **Designed for DGX-like homogeneous architectures** — "the communication
+  strategies employed by MSCCL are designed for architectures similar to
+  DGX1, without taking into account the actual properties of the
+  underlying links" (Sec. VI-C): graphs are rank-ordered hierarchical
+  trees built from *nominal* link classes, never from measurements, and
+  never refreshed.
+* **Latency-bandwidth tradeoff** — two algorithm points: a latency-optimal
+  shallow tree (small tensors) and a bandwidth-optimal chunked pipeline
+  with two channels (large tensors); selection by message size, as the
+  pareto frontier prescribes.
+* **Fixed chunk size from the sketch** — "the chunk size also remains
+  fixed, which does not effectively optimize the tradeoff between chunk
+  pipelining and reduced latency" (Sec. VI-C). 1 MiB, the msccl-tools
+  default instance size for these algorithms.
+* **Runs as NCCL kernels** — two channels (the paper's MSCCL outperforms
+  single-channel NCCL on TCP, so it is not stream-limited to one).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.baselines.common import Backend, register_backend
+from repro.errors import SynthesisError
+from repro.hardware.links import MB
+from repro.synthesis.aggregation import default_aggregation
+from repro.synthesis.routing import Tree, alltoall_flows, broadcast_flows, reduce_flows
+from repro.synthesis.strategy import Primitive, Strategy, SubCollective
+from repro.topology.graph import gpu_node
+
+#: The sketch's fixed instance (chunk) size.
+MSCCL_CHUNK_BYTES = 1 * MB
+#: Number of parallel channels the recommended algorithms instantiate.
+MSCCL_CHANNELS = 2
+#: Below this size the latency-optimal algorithm wins on the pareto curve.
+LATENCY_OPTIMAL_THRESHOLD = 4 * MB
+
+
+@register_backend
+class MscclBackend(Backend):
+    """Pareto-point algorithms over rank-ordered homogeneous graphs."""
+
+    name = "msccl"
+
+    def _groups(self, participants: List[int]) -> Dict[int, List[int]]:
+        groups: Dict[int, List[int]] = {}
+        for rank in participants:
+            groups.setdefault(self.topology.cluster.gpu(rank).instance_id, []).append(rank)
+        return {iid: sorted(ranks) for iid, ranks in sorted(groups.items())}
+
+    def _tree(self, participants: List[int], root: int, channel: int, shallow: bool) -> Tree:
+        """Rank-ordered hierarchical tree; channel rotates local leaders.
+
+        ``shallow``: latency-optimal point — leaders send straight to the
+        root (depth 2). Otherwise the bandwidth-optimal point chains
+        instances in rank order (maximal pipelining, homogeneity assumed).
+        """
+        groups = self._groups(participants)
+        root_instance = self.topology.cluster.gpu(root).instance_id
+        tree: Tree = {root: root}
+        leaders: Dict[int, int] = {}
+        for instance_id, ranks in groups.items():
+            if instance_id == root_instance:
+                leaders[instance_id] = root
+            else:
+                leaders[instance_id] = ranks[channel % len(ranks)]
+            for rank in ranks:
+                if rank != leaders[instance_id]:
+                    tree[rank] = leaders[instance_id]
+        other = [iid for iid in groups if iid != root_instance]
+        if shallow:
+            for instance_id in other:
+                tree[leaders[instance_id]] = leaders[root_instance]
+        else:
+            chain = other + [root_instance]  # rank order, not bandwidth order
+            for a, b in zip(chain, chain[1:]):
+                tree[leaders[a]] = leaders[b]
+        return tree
+
+    def plan(
+        self,
+        primitive: Primitive,
+        tensor_size: float,
+        participants: Iterable[int],
+        root: Optional[int] = None,
+    ) -> Strategy:
+        participants = sorted(set(participants))
+        if not participants:
+            raise SynthesisError("no participants")
+        root = participants[0] if root is None else root
+        shallow = tensor_size < LATENCY_OPTIMAL_THRESHOLD
+        point = "latency" if shallow else "bandwidth"
+
+        if primitive is Primitive.ALLTOALL:
+            world = len(participants)
+            share = tensor_size / world
+            flows = alltoall_flows(self.topology, participants)
+            subcollectives = [
+                SubCollective(
+                    index=index,
+                    size=share / MSCCL_CHANNELS,
+                    chunk_size=min(MSCCL_CHUNK_BYTES, max(1.0, share / MSCCL_CHANNELS)),
+                    flows=[f for f in flows],
+                )
+                for index in range(MSCCL_CHANNELS)
+            ]
+            return Strategy(
+                primitive=primitive,
+                tensor_size=tensor_size,
+                participants=participants,
+                subcollectives=subcollectives,
+                routing_family="msccl-a2a",
+            )
+
+        if primitive in (Primitive.ALLGATHER, Primitive.REDUCE_SCATTER):
+            per_root = (
+                tensor_size
+                if primitive is Primitive.ALLGATHER
+                else tensor_size / len(participants)
+            )
+            subcollectives = []
+            for index, rank in enumerate(participants):
+                tree = self._tree(participants, rank, channel=index, shallow=shallow)
+                if primitive is Primitive.ALLGATHER:
+                    flows = broadcast_flows(self.topology, tree, rank)
+                    aggregation: Dict = {}
+                else:
+                    flows = reduce_flows(self.topology, tree, rank)
+                    aggregation = default_aggregation(tree, rank)
+                subcollectives.append(
+                    SubCollective(
+                        index=index,
+                        size=per_root,
+                        chunk_size=min(MSCCL_CHUNK_BYTES, max(1.0, per_root)),
+                        flows=flows,
+                        aggregation=aggregation,
+                        root=gpu_node(rank),
+                    )
+                )
+            return Strategy(
+                primitive=primitive,
+                tensor_size=tensor_size,
+                participants=participants,
+                subcollectives=subcollectives,
+                routing_family=f"msccl-{point}",
+            )
+
+        # Reduce / Broadcast / AllReduce on MSCCL_CHANNELS channels. The
+        # sketches rotate roots over the first instances only (DGX-style
+        # symmetric assumption).
+        groups = self._groups(participants)
+        instance_ids = sorted(groups)
+        share = tensor_size / MSCCL_CHANNELS
+        subcollectives = []
+        for index in range(MSCCL_CHANNELS):
+            if primitive is Primitive.ALLREDUCE:
+                sc_root = groups[instance_ids[index % len(instance_ids)]][0]
+            else:
+                sc_root = root
+            tree = self._tree(participants, sc_root, channel=index, shallow=shallow)
+            if primitive is Primitive.BROADCAST:
+                flows = broadcast_flows(self.topology, tree, sc_root)
+                aggregation = {}
+            else:
+                flows = reduce_flows(self.topology, tree, sc_root)
+                aggregation = default_aggregation(tree, sc_root)
+            subcollectives.append(
+                SubCollective(
+                    index=index,
+                    size=share,
+                    chunk_size=min(MSCCL_CHUNK_BYTES, max(1.0, share)),
+                    flows=flows,
+                    aggregation=aggregation,
+                    root=gpu_node(sc_root),
+                )
+            )
+        return Strategy(
+            primitive=primitive,
+            tensor_size=tensor_size,
+            participants=participants,
+            subcollectives=subcollectives,
+            routing_family=f"msccl-{point}",
+        )

@@ -1,0 +1,17 @@
+"""Measurement harness shared by the benchmarks in ``benchmarks/``."""
+
+from repro.bench.harness import (
+    BenchEnvironment,
+    measure_algorithm_bandwidth,
+    measure_training,
+)
+from repro.bench.report import Series, Table, geometric_mean
+
+__all__ = [
+    "BenchEnvironment",
+    "Series",
+    "Table",
+    "geometric_mean",
+    "measure_algorithm_bandwidth",
+    "measure_training",
+]

@@ -1,0 +1,92 @@
+"""ASCII rendering of synthesized strategies.
+
+``render_strategy`` draws each sub-collective's communication graph as an
+indented tree (reduce orientation: children send to parents), annotated
+with link kinds and aggregation flags — the quickest way to see *what* the
+synthesizer decided and why two profiling passes produced different
+graphs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.synthesis.strategy import Strategy, SubCollective
+from repro.topology.graph import LogicalTopology, NodeKind
+
+
+def _gpu_tree(sc: SubCollective) -> Dict[int, List[int]]:
+    """children[parent rank] -> list of child ranks, from GPU-level hops."""
+    children: Dict[int, List[int]] = defaultdict(list)
+    seen: Set[Tuple[int, int]] = set()
+    for flow in sc.flows:
+        gpus = [n.index for n in flow.path if n.kind is NodeKind.GPU]
+        for child, parent in zip(gpus, gpus[1:]):
+            if (child, parent) not in seen:
+                seen.add((child, parent))
+                children[parent].append(child)
+    return children
+
+
+def _hop_label(topology: Optional[LogicalTopology], a: int, b: int) -> str:
+    if topology is None:
+        return ""
+    from repro.synthesis.routing import hop_path
+
+    try:
+        edges = topology.path_edges(hop_path(topology, a, b))
+    except Exception:  # noqa: BLE001 - labels are best-effort decoration
+        return ""
+    kinds = {e.kind.value for e in edges}
+    if "network" in kinds:
+        return " ~net~"
+    if "nvlink" in kinds:
+        return " -nvl-"
+    return " -pcie-"
+
+
+def render_subcollective(
+    sc: SubCollective,
+    topology: Optional[LogicalTopology] = None,
+) -> str:
+    """One sub-collective as an indented reduce tree rooted at its root."""
+    lines: List[str] = []
+    if sc.root is None:
+        flows = ", ".join(f"{f.src}->{f.dst}" for f in sc.flows[:8])
+        more = "" if len(sc.flows) <= 8 else f" (+{len(sc.flows) - 8} more)"
+        return f"  m{sc.index}: {len(sc.flows)} direct flows: {flows}{more}"
+    children = _gpu_tree(sc)
+    root = sc.root.index
+
+    def draw(rank: int, prefix: str, hop: str) -> None:
+        agg = "+" if sc.aggregates_at_rank(rank) else " "
+        lines.append(f"{prefix}{hop}g{rank}[{agg}]")
+        kids = sorted(children.get(rank, []))
+        for kid in kids:
+            label = _hop_label(topology, kid, rank)
+            draw(kid, prefix + "   ", f"<-{label} ")
+
+    header = (
+        f"  m{sc.index}: size={sc.size / 1e6:.2f} MB, chunk={sc.chunk_size / 1e6:.2f} MB,"
+        f" {sc.num_chunks} chunks"
+    )
+    lines.append(header)
+    draw(root, "    ", "")
+    return "\n".join(lines)
+
+
+def render_strategy(strategy: Strategy, topology: Optional[LogicalTopology] = None) -> str:
+    """Whole-strategy summary: header plus one tree per sub-collective.
+
+    ``[+]`` marks ranks with aggregation enabled; hop labels show the link
+    class each edge crosses (``~net~``, ``-nvl-``, ``-pcie-``).
+    """
+    lines = [
+        f"{strategy.primitive.value} strategy ({strategy.routing_family}), "
+        f"S={strategy.tensor_size / 1e6:.1f} MB, M={strategy.parallelism}, "
+        f"predicted {strategy.predicted_time * 1e3:.2f} ms",
+    ]
+    for sc in strategy.subcollectives:
+        lines.append(render_subcollective(sc, topology))
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the AdapCC reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class. Subsystems raise the most specific subclass that
+describes the failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Errors raised by the discrete-event simulation engine."""
+
+
+class ProcessInterrupt(ReproError):
+    """Raised inside a simulated process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.simulation.engine.Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class TopologyError(ReproError):
+    """Invalid or inconsistent hardware/logical topology."""
+
+
+class ProfilingError(ReproError):
+    """Profiling could not produce usable link estimates."""
+
+
+class SynthesisError(ReproError):
+    """The synthesizer could not produce a feasible strategy."""
+
+
+class StrategyFormatError(SynthesisError):
+    """A serialized strategy document could not be parsed."""
+
+
+class CommunicatorError(ReproError):
+    """Errors in the runtime communicator (contexts, buffers, executors)."""
+
+
+class BufferError_(CommunicatorError):
+    """Buffer misuse: overflow, double registration, or missing IPC handle."""
+
+
+class CoordinationError(ReproError):
+    """Relay-control coordination failures."""
+
+
+class WorkerFault(ReproError):
+    """A worker has been declared faulty by the coordinator."""
+
+    def __init__(self, rank: int, message: str = ""):
+        super().__init__(message or f"worker rank {rank} is faulty")
+        self.rank = rank
+
+
+class TrainingError(ReproError):
+    """Errors raised by the training substrate."""

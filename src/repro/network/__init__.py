@@ -1,0 +1,14 @@
+"""Network property modelling: α–β cost model, cloud traces, shaping."""
+
+from repro.network.cost_model import AlphaBeta, fit_alpha_beta
+from repro.network.traces import CloudTrace, TracePoint, generate_cloud_trace
+from repro.network.shaping import TraceShaper
+
+__all__ = [
+    "AlphaBeta",
+    "CloudTrace",
+    "TracePoint",
+    "TraceShaper",
+    "fit_alpha_beta",
+    "generate_cloud_trace",
+]

@@ -1,0 +1,83 @@
+"""Trace-driven link shaping — the simulator's ``tc`` equivalent.
+
+The paper replays a cloud trace onto testbed NICs with ``tc`` on each
+server (Sec. VI-D). :class:`TraceShaper` does the same to the simulated
+cluster: a background process samples a :class:`~repro.network.traces.CloudTrace`
+every ``interval`` simulated seconds and rewrites NIC capacities.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.hardware.cluster import Cluster
+from repro.network.traces import CloudTrace
+from repro.simulation.records import TraceRecorder
+
+
+class TraceShaper:
+    """Applies a (possibly amplified) cloud trace to instance NICs.
+
+    Each shaped instance gets its own time offset into the trace so the
+    servers do not move in lockstep (as they would not in a real cluster).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        trace: CloudTrace,
+        interval: float = 10.0,
+        amplification: float = 1.0,
+        instance_ids: Optional[Sequence[int]] = None,
+        offsets: Optional[Sequence[float]] = None,
+        recorder: Optional[TraceRecorder] = None,
+    ):
+        self.cluster = cluster
+        self.trace = trace.amplified(amplification) if amplification != 1.0 else trace
+        self.interval = interval
+        self.instance_ids = (
+            list(instance_ids)
+            if instance_ids is not None
+            else list(range(len(cluster.instances)))
+        )
+        if offsets is None:
+            # Deterministic stagger: spread instances across the trace.
+            stride = self.trace.duration / max(1, len(self.instance_ids))
+            offsets = [i * stride * 0.13 for i in range(len(self.instance_ids))]
+        if len(offsets) != len(self.instance_ids):
+            raise ValueError("offsets must match instance_ids")
+        self.offsets = list(offsets)
+        self.recorder = recorder
+        self._running = False
+
+    def start(self) -> None:
+        """Begin shaping; call before or during a simulation run."""
+        if self._running:
+            return
+        self._running = True
+        self.cluster.sim.process(self._run(), name="trace-shaper")
+
+    def stop(self) -> None:
+        """Stop shaping and restore nominal bandwidths at the next tick."""
+        self._running = False
+
+    def _run(self):
+        sim = self.cluster.sim
+        while self._running:
+            for instance_id, offset in zip(self.instance_ids, self.offsets):
+                t = (sim.now + offset) % max(self.trace.duration, 1e-9)
+                fraction = self.trace.bandwidth_fraction(t)
+                nominal = self.cluster.nominal_nic_bandwidth(instance_id)
+                self.cluster.set_nic_bandwidth(instance_id, nominal * fraction)
+                if self.recorder is not None:
+                    self.recorder.record(
+                        sim.now,
+                        "shaping",
+                        f"instance{instance_id}",
+                        bandwidth_fraction=fraction,
+                    )
+            yield sim.timeout(self.interval)
+        for instance_id in self.instance_ids:
+            self.cluster.set_nic_bandwidth(
+                instance_id, self.cluster.nominal_nic_bandwidth(instance_id)
+            )

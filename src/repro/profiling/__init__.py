@@ -1,0 +1,13 @@
+"""On-the-fly link profiling (paper Sec. IV-B)."""
+
+from repro.profiling.probes import ProbePlan, DEFAULT_PROBE_PLAN
+from repro.profiling.profiler import ProfileResult, Profiler
+from repro.profiling.rounds import inter_instance_rounds
+
+__all__ = [
+    "DEFAULT_PROBE_PLAN",
+    "ProbePlan",
+    "ProfileResult",
+    "Profiler",
+    "inter_instance_rounds",
+]

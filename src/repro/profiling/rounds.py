@@ -1,0 +1,37 @@
+"""The interference-free inter-instance probing schedule (Fig. 5b).
+
+With N instances there are N−1 rounds separated by barriers; in round i,
+instance n probes instance (n+i) mod N. Every instance therefore has
+exactly one outgoing and one incoming probe flow per round — no ingress or
+egress port ever carries two probe flows at once, which keeps the fitted
+values clean.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def inter_instance_rounds(num_instances: int) -> List[List[Tuple[int, int]]]:
+    """Rounds of (source instance, destination instance) probe flows.
+
+    Returns N−1 rounds; round i holds the flows n → (n+i) mod N for every
+    instance n.
+    """
+    if num_instances < 1:
+        raise ValueError("need at least one instance")
+    rounds: List[List[Tuple[int, int]]] = []
+    for i in range(1, num_instances):
+        rounds.append([(n, (n + i) % num_instances) for n in range(num_instances)])
+    return rounds
+
+
+def validate_round(flows: List[Tuple[int, int]]) -> bool:
+    """Check the no-interference property of one round.
+
+    True iff no instance appears twice as a source or twice as a
+    destination (one transmission per ingress/egress port at a time).
+    """
+    sources = [src for src, _ in flows]
+    destinations = [dst for _, dst in flows]
+    return len(set(sources)) == len(sources) and len(set(destinations)) == len(destinations)

@@ -1,0 +1,26 @@
+"""Adaptive relay control (paper Sec. IV-C).
+
+The coordinator on rank 0 watches per-iteration tensor-ready times and
+runs a break-even ski-rental rule to decide between waiting for all
+workers and triggering a *partial* collective among the ready ones, with
+non-ready workers acting as relays (phase 1) followed by aggregation of
+the late tensors (phase 2). The two-phase result is bit-identical to a
+full collective — only the schedule changes.
+"""
+
+from repro.relay.ski_rental import BreakEvenPolicy, estimate_collective_seconds
+from repro.relay.behavior import BehaviorTuple, behavior_tuples
+from repro.relay.coordinator import AdaptiveAllReduce, AdaptiveResult, Coordinator
+from repro.relay.faults import FaultDetector, FaultReport
+
+__all__ = [
+    "AdaptiveAllReduce",
+    "AdaptiveResult",
+    "BehaviorTuple",
+    "BreakEvenPolicy",
+    "Coordinator",
+    "FaultDetector",
+    "FaultReport",
+    "behavior_tuples",
+    "estimate_collective_seconds",
+]

@@ -1,0 +1,114 @@
+"""The GPU behaviour abstraction ``<isActive, hasRecv, hasKernel, hasSend>``
+(Sec. IV-C.3, Fig. 7).
+
+Given one sub-collective's communication graph and the set of ready
+(active) workers, each GPU's behaviour on the graph is fully determined by
+four booleans. The rules are the paper's, verbatim:
+
+* ``isActive`` — the worker is ready (not a relay).
+* ``hasRecv`` — some *active* rank exists in the node's predecessor
+  subtree (checked recursively), so the node should wait for data.
+* ``hasKernel`` — an aggregation kernel runs, unless (1) there is nothing
+  to receive, (2) the node is a relay with a single active upstream branch
+  (pure pass-through), or (3) the synthesizer disabled aggregation here
+  (a_{m,g} = 0). Non-aggregating primitives never set it.
+* ``hasSend`` — cleared when the node has nothing (neither local nor
+  received data) to send, or has no successor (the root).
+
+These tuples are exactly the behaviour the chunk executor exhibits; the
+test suite cross-checks the two.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set
+
+from repro.errors import CoordinationError
+from repro.synthesis.strategy import Primitive, SubCollective
+from repro.topology.graph import NodeKind
+
+
+@dataclass(frozen=True)
+class BehaviorTuple:
+    """One GPU's behaviour on a communication graph with a ready-set."""
+
+    is_active: bool
+    has_recv: bool
+    has_kernel: bool
+    has_send: bool
+
+    def as_tuple(self):
+        """(isActive, hasRecv, hasKernel, hasSend), in the paper's order."""
+        return (self.is_active, self.has_recv, self.has_kernel, self.has_send)
+
+
+def _gpu_hops(sc: SubCollective) -> Dict[int, Set[int]]:
+    """GPU-level children map: child rank -> set of parent ranks (next GPU
+    on each flow path)."""
+    children: Dict[int, Set[int]] = defaultdict(set)
+    for flow in sc.flows:
+        gpus = [node.index for node in flow.path if node.kind is NodeKind.GPU]
+        for child, parent in zip(gpus, gpus[1:]):
+            children[parent].add(child)
+    return children
+
+
+def behavior_tuples(
+    sc: SubCollective,
+    primitive: Primitive,
+    active_ranks: Iterable[int],
+) -> Dict[int, BehaviorTuple]:
+    """Behaviour tuple for every GPU appearing in the sub-collective."""
+    active = set(active_ranks)
+    children_of = _gpu_hops(sc)
+    all_gpus: Set[int] = set(children_of)
+    for kids in children_of.values():
+        all_gpus.update(kids)
+    for flow in sc.flows:
+        all_gpus.update(n.index for n in flow.path if n.kind is NodeKind.GPU)
+    has_parent: Set[int] = set()
+    for flow in sc.flows:
+        gpus = [n.index for n in flow.path if n.kind is NodeKind.GPU]
+        has_parent.update(gpus[:-1])
+
+    # Recursive: does the subtree rooted at `rank` (inclusive) contain an
+    # active rank?
+    memo: Dict[int, bool] = {}
+
+    def subtree_active(rank: int, visiting: Set[int]) -> bool:
+        if rank in memo:
+            return memo[rank]
+        if rank in visiting:
+            raise CoordinationError("cycle in communication graph")
+        visiting.add(rank)
+        result = rank in active or any(
+            subtree_active(child, visiting) for child in children_of.get(rank, ())
+        )
+        visiting.remove(rank)
+        memo[rank] = result
+        return result
+
+    tuples: Dict[int, BehaviorTuple] = {}
+    for rank in sorted(all_gpus):
+        is_active = rank in active
+        active_branches = [
+            child for child in children_of.get(rank, ()) if subtree_active(child, set())
+        ]
+        has_recv = bool(active_branches)
+
+        if not primitive.needs_aggregation:
+            has_kernel = False
+        elif not has_recv:
+            has_kernel = False  # condition (1): send local data only
+        elif not is_active and len(active_branches) == 1:
+            has_kernel = False  # condition (2): single-branch relay
+        elif not sc.aggregates_at_rank(rank):
+            has_kernel = False  # condition (3): synthesizer said no
+        else:
+            has_kernel = True
+
+        has_send = (is_active or has_recv) and rank in has_parent
+        tuples[rank] = BehaviorTuple(is_active, has_recv, has_kernel, has_send)
+    return tuples

@@ -1,0 +1,87 @@
+"""Fault detection and recovery planning (Sec. IV-C.2).
+
+After phase 1 completes, workers still not ready after ``T_fault`` —
+five times the duration since the fastest worker became ready — are
+declared faulty and excluded from the training group. Remaining workers
+proceed with the current iteration's update, and the data loader is told
+to redistribute shards so the global batch size stays constant (the
+redistribution itself lives in :mod:`repro.training.data`).
+
+For comparison, PyTorch Elastic needs a 15 s keep-alive timeout plus a
+full job restart; AdapCC's path is graph reconstruction only (Fig. 19c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import CoordinationError
+
+#: The paper's multiplier on (now - fastest ready time).
+FAULT_THRESHOLD_MULTIPLIER = 5.0
+#: PyTorch Elastic's keep-alive window, for the comparison benches.
+PYTORCH_ELASTIC_TIMEOUT_SECONDS = 15.0
+
+
+@dataclass
+class FaultReport:
+    """Outcome of one fault-detection pass."""
+
+    faulty_ranks: List[int]
+    survivors: List[int]
+    threshold_seconds: float
+    detected_at: float
+
+    @property
+    def any_faults(self) -> bool:
+        """Whether any worker was declared faulty."""
+        return bool(self.faulty_ranks)
+
+
+class FaultDetector:
+    """Applies the T_fault rule to a set of (possibly absent) ready times."""
+
+    def __init__(self, multiplier: float = FAULT_THRESHOLD_MULTIPLIER):
+        if multiplier <= 0:
+            raise CoordinationError("fault multiplier must be positive")
+        self.multiplier = multiplier
+
+    def threshold(self, fastest_ready: float, phase1_end: float) -> float:
+        """T_fault: 5× the duration since the fastest worker became ready,
+        counted from phase-1 completion."""
+        if phase1_end < fastest_ready:
+            raise CoordinationError("phase 1 cannot end before the fastest worker is ready")
+        return self.multiplier * (phase1_end - fastest_ready)
+
+    def detect(
+        self,
+        ready_times: Dict[int, Optional[float]],
+        participants: Sequence[int],
+        fastest_ready: float,
+        phase1_end: float,
+    ) -> FaultReport:
+        """Classify workers as faulty or surviving.
+
+        ``ready_times[rank]`` is the worker's (possibly future) ready time,
+        or ``None`` for a worker that will never report (crash).
+        """
+        deadline = phase1_end + self.threshold(fastest_ready, phase1_end)
+        faulty: List[int] = []
+        survivors: List[int] = []
+        for rank in participants:
+            ready = ready_times.get(rank, None)
+            if ready is None or ready > deadline:
+                faulty.append(rank)
+            else:
+                survivors.append(rank)
+        # ``participants`` is typically just the late workers; an empty
+        # survivors list here only means every *straggler* is faulty — the
+        # active workers continue. Whole-group exhaustion is checked by the
+        # trainer.
+        return FaultReport(
+            faulty_ranks=faulty,
+            survivors=survivors,
+            threshold_seconds=deadline - phase1_end,
+            detected_at=deadline,
+        )

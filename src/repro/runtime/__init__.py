@@ -1,0 +1,48 @@
+"""The communicator: executes strategies on the simulated cluster (Sec. V).
+
+This package is the runtime half of AdapCC: transmission contexts with
+registered buffers (:mod:`repro.runtime.context`,
+:mod:`repro.runtime.buffers`), work/result queues
+(:mod:`repro.runtime.queues`), and the pipelined chunk executor
+(:mod:`repro.runtime.executor`) that moves *real numpy payloads* through
+the fluid network so collective results are verifiable bit-for-bit.
+
+The high-level entry points live in :mod:`repro.runtime.collectives`:
+``run_reduce``, ``run_broadcast``, ``run_allreduce``, ``run_allgather``,
+``run_reduce_scatter`` and ``run_alltoall``.
+"""
+
+from repro.runtime.collectives import (
+    CollectiveResult,
+    PendingCollective,
+    launch_allreduce,
+    run_allgather,
+    run_allreduce,
+    run_alltoall,
+    run_broadcast,
+    run_reduce,
+    run_reduce_scatter,
+)
+from repro.runtime.buffers import BufferRegistry, GpuBuffers
+from repro.runtime.context import ContextManager, TransmissionContext
+from repro.runtime.queues import WorkItem, WorkQueues
+from repro.runtime.service import CollectiveService
+
+__all__ = [
+    "BufferRegistry",
+    "CollectiveResult",
+    "CollectiveService",
+    "PendingCollective",
+    "launch_allreduce",
+    "ContextManager",
+    "GpuBuffers",
+    "TransmissionContext",
+    "WorkItem",
+    "WorkQueues",
+    "run_allgather",
+    "run_allreduce",
+    "run_alltoall",
+    "run_broadcast",
+    "run_reduce",
+    "run_reduce_scatter",
+]

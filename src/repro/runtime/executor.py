@@ -1,0 +1,277 @@
+"""The pipelined chunk executor (Sec. V-B).
+
+One :class:`ChunkPipeline` executes one sub-collective *stage* as an event
+graph over the simulator:
+
+* a **sender** per (edge, traffic unit) streams chunks in order — the
+  analogue of one CUDA stream issuing ``cudaMemcpyPeerAsync`` +
+  event-record per chunk; the receiver's ``cudaStreamWaitEvent`` ordering
+  is the per-chunk availability slot;
+* an **aggregator** per aggregating GPU node waits for the same-index
+  chunk from every incoming unit (plus the node's own tensor when it is an
+  active source), launches a reduce kernel, and publishes the merged
+  chunk — unless only a single unit arrives, in which case it relays
+  without a kernel (the paper's ``hasKernel`` condition 2);
+* a **source** per flow publishes the local tensor's chunks once the
+  worker's data is ready (supporting straggler ready-times and stage
+  chaining: an AllReduce broadcast stage sources from the reduce stage's
+  output slots, which is exactly the paper's reduce/broadcast pipelining).
+
+Payloads are real numpy arrays, so tests can assert bit-exact collective
+semantics, not just timing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CommunicatorError
+from repro.simulation.engine import Event, Simulator
+from repro.synthesis.strategy import Flow
+from repro.topology.graph import LogicalTopology, NodeId, NodeKind
+
+UnitKey = Tuple
+SlotKey = Tuple[UnitKey, NodeId, int]
+
+#: Pipeline modes, matching the evaluator's bandwidth-sharing rules.
+MODE_MERGE = "merge"  # reduce-family: units merge at aggregation points
+MODE_GROUPED = "grouped"  # broadcast: replicas share one unit per source
+MODE_INDEPENDENT = "independent"  # alltoall: every flow is its own unit
+
+
+class Slot:
+    """One chunk's availability: an event plus the payload."""
+
+    __slots__ = ("event", "payload")
+
+    def __init__(self, sim: Simulator):
+        self.event = Event(sim)
+        self.payload: Optional[np.ndarray] = None
+
+    def set(self, payload: np.ndarray) -> None:
+        """Publish the chunk and wake every waiter."""
+        self.payload = payload
+        self.event.succeed()
+
+
+#: A chunk source: (availability event, payload getter) for chunk k.
+ChunkSource = Callable[[int, int], Tuple[Event, Callable[[], np.ndarray]]]
+
+
+class ChunkPipeline:
+    """Event-graph execution of one sub-collective stage."""
+
+    def __init__(
+        self,
+        topology: LogicalTopology,
+        flows: Sequence[Tuple[int, Flow]],
+        num_chunks: int,
+        chunk_bytes: Sequence[float],
+        chunk_source: ChunkSource,
+        mode: str = MODE_MERGE,
+        aggregates_at: Optional[Callable[[NodeId], bool]] = None,
+        kernel_enabled: bool = True,
+        tag: str = "collective",
+    ):
+        if mode not in (MODE_MERGE, MODE_GROUPED, MODE_INDEPENDENT):
+            raise CommunicatorError(f"unknown pipeline mode {mode!r}")
+        if mode is not MODE_MERGE and aggregates_at is not None:
+            raise CommunicatorError("aggregation only applies to merge mode")
+        if len(chunk_bytes) != num_chunks:
+            raise CommunicatorError("chunk_bytes must have one entry per chunk")
+        self.topology = topology
+        self.sim = topology.cluster.sim
+        self.network = topology.cluster.network
+        self.flows = list(flows)
+        self.num_chunks = num_chunks
+        self.chunk_bytes = list(chunk_bytes)
+        self.chunk_source = chunk_source
+        self.mode = mode
+        self._aggregates_at = aggregates_at or (lambda node: False)
+        self.kernel_enabled = kernel_enabled
+        self.tag = tag
+        self._slots: Dict[SlotKey, Slot] = {}
+        self._published: set = set()
+        self._started = False
+        #: Flow indices whose data joins *opportunistically*: a late-ready
+        #: relay's chunk k is folded into the aggregation at its source
+        #: node iff it is ready when chunk k's kernel runs (Sec. IV-C:
+        #: "data chunks with the same offset join the ongoing
+        #: aggregation"). Chunks that miss the window stay for phase 2.
+        self.optional_flows: Dict[int, Flow] = {}
+        #: (flow_idx, chunk index) pairs that did make it into phase 1.
+        self.included_optional: set = set()
+
+    # -- unit algebra ---------------------------------------------------------------
+
+    def aggregates_at(self, node: NodeId) -> bool:
+        """Whether this pipeline merges units at ``node`` (merge mode only)."""
+        return self.mode == MODE_MERGE and bool(self._aggregates_at(node))
+
+    def unit_at(self, flow_idx: int, flow: Flow, path_idx: int) -> UnitKey:
+        """The traffic unit carrying ``flow`` outgoing from path[path_idx]."""
+        if self.mode == MODE_GROUPED:
+            return ("bcast", flow.src)
+        if self.mode == MODE_INDEPENDENT:
+            return ("flow", flow_idx)
+        unit: UnitKey = ("flow", flow_idx)
+        for idx in range(path_idx + 1):
+            if self.aggregates_at(flow.path[idx]):
+                unit = ("agg", flow.path[idx])
+        return unit
+
+    def slot(self, unit: UnitKey, node: NodeId, k: int) -> Slot:
+        """The (lazily created) availability slot of one chunk at one node."""
+        key = (unit, node, k)
+        if key not in self._slots:
+            self._slots[key] = Slot(self.sim)
+        return self._slots[key]
+
+    def output_unit(self, flow_idx: int, flow: Flow) -> UnitKey:
+        """The unit under which this flow's data arrives at its destination."""
+        return self.unit_at(flow_idx, flow, len(flow.path) - 1)
+
+    # -- wiring ----------------------------------------------------------------------
+
+    def start(self) -> Event:
+        """Spawn all processes; returns an event for full completion."""
+        if self._started:
+            raise CommunicatorError("pipeline already started")
+        self._started = True
+        if self.num_chunks == 0 or not self.flows:
+            return self.sim.timeout(0.0)
+
+        senders: Dict[Tuple[NodeId, NodeId, UnitKey], None] = {}
+        #: Incoming units per aggregating node.
+        agg_inputs: Dict[NodeId, set] = {}
+        #: Active source flows per aggregating node (their data merges there).
+        agg_local: Dict[NodeId, List[int]] = {}
+        terminal_events: List[Event] = []
+
+        for flow_idx, flow in self.flows:
+            src = flow.path[0]
+            if self.aggregates_at(src):
+                agg_inputs.setdefault(src, set())
+                agg_local.setdefault(src, []).append(flow_idx)
+            else:
+                self._spawn_source(flow_idx, flow)
+            for path_idx, (i, j) in enumerate(flow.edges):
+                unit = self.unit_at(flow_idx, flow, path_idx)
+                senders.setdefault((i, j, unit), None)
+                if self.aggregates_at(j):
+                    agg_inputs.setdefault(j, set()).add(unit)
+            out_unit = self.output_unit(flow_idx, flow)
+            terminal_events.append(self.slot(out_unit, flow.dst, self.num_chunks - 1).event)
+
+        # Late-join candidates attach as optional contributors wherever an
+        # aggregation is already happening at their source node.
+        agg_optional: Dict[NodeId, List[int]] = {}
+        for flow_idx, flow in self.optional_flows.items():
+            src = flow.path[0]
+            if src in agg_inputs and self.aggregates_at(src):
+                agg_optional.setdefault(src, []).append(flow_idx)
+
+        for (i, j, unit) in senders:
+            self.sim.process(self._sender(i, j, unit), name=f"send:{i}->{j}")
+        for node, units in agg_inputs.items():
+            self.sim.process(
+                self._aggregator(
+                    node,
+                    sorted(units),
+                    agg_local.get(node, []),
+                    agg_optional.get(node, []),
+                ),
+                name=f"agg:{node}",
+            )
+        return self.sim.all_of(terminal_events)
+
+    # -- processes ----------------------------------------------------------------------
+
+    def _spawn_source(self, flow_idx: int, flow: Flow) -> None:
+        unit = self.unit_at(flow_idx, flow, 0)
+        key = (unit, flow.src)
+        if key in self._published:
+            return  # grouped mode: another flow already publishes this unit
+        self._published.add(key)
+        self.sim.process(self._source(flow_idx, flow, unit), name=f"src:{flow.src}")
+
+    def _source(self, flow_idx: int, flow: Flow, unit: UnitKey):
+        for k in range(self.num_chunks):
+            ready, payload = self.chunk_source(flow_idx, k)
+            yield ready
+            self.slot(unit, flow.src, k).set(payload())
+
+    def _sender(self, i: NodeId, j: NodeId, unit: UnitKey):
+        """Stream chunks of one unit across one edge, in order."""
+        edge = self.topology.edge(i, j)
+        for k in range(self.num_chunks):
+            slot_in = self.slot(unit, i, k)
+            yield slot_in.event
+            yield self.network.transfer(
+                edge.fluid_links, self.chunk_bytes[k], tag=f"{self.tag}:{i}->{j}"
+            )
+            out_slot = self.slot(unit, j, k)
+            if not out_slot.event.triggered:
+                out_slot.set(slot_in.payload)
+
+    def _aggregator(
+        self,
+        node: NodeId,
+        units: List[UnitKey],
+        local_flows: List[int],
+        optional_flows: Optional[List[int]] = None,
+    ):
+        """Merge same-index chunks from all units (+ local data) at a node.
+
+        ``optional_flows`` are late-join candidates: their chunk k is
+        included iff its source is ready when the aggregation of chunk k
+        starts — never waited for.
+        """
+        out_unit: UnitKey = ("agg", node)
+        gpu = (
+            self.topology.cluster.gpu(node.index)
+            if node.kind is NodeKind.GPU
+            else None
+        )
+        for k in range(self.num_chunks):
+            events = [self.slot(unit, node, k).event for unit in units]
+            getters: List[Callable[[], np.ndarray]] = []
+            for flow_idx in local_flows:
+                ready, payload = self.chunk_source(flow_idx, k)
+                events.append(ready)
+                getters.append(payload)
+            yield self.sim.all_of(events)
+            parts = [self.slot(unit, node, k).payload for unit in units]
+            parts.extend(getter() for getter in getters)
+            for flow_idx in optional_flows or ():
+                ready, payload = self.chunk_source(flow_idx, k)
+                if ready.processed:  # ready right now: join this offset
+                    parts.append(payload())
+                    self.included_optional.add((flow_idx, k))
+            if len(parts) >= 2:
+                total = parts[0].copy()
+                for part in parts[1:]:
+                    total += part
+                if self.kernel_enabled and gpu is not None:
+                    yield self.sim.timeout(gpu.spec.reduce_kernel_time(self.chunk_bytes[k]))
+            else:
+                total = parts[0]  # single unit: relay without a kernel
+            self.slot(out_unit, node, k).set(total)
+
+    # -- output access --------------------------------------------------------------------
+
+    def gather(self, unit: UnitKey, node: NodeId) -> np.ndarray:
+        """Concatenate all chunk payloads of ``unit`` delivered at ``node``."""
+        chunks = []
+        for k in range(self.num_chunks):
+            slot = self._slots.get((unit, node, k))
+            if slot is None or slot.payload is None:
+                raise CommunicatorError(f"chunk {k} of {unit} missing at {node}")
+            chunks.append(slot.payload)
+        return np.concatenate(chunks) if chunks else np.empty(0)
+
+    def output_slots(self, unit: UnitKey, node: NodeId) -> List[Slot]:
+        """Per-chunk slots of a unit at a node (for stage chaining)."""
+        return [self.slot(unit, node, k) for k in range(self.num_chunks)]

@@ -1,0 +1,71 @@
+"""Work and Result queues between the ML framework and the communicator.
+
+The framework pushes tensors into the Work Queue; contexts poll it and
+execute communications in order; communicated tensors land in the Result
+Queue for continued computation (Fig. 4). Requests are matched by a
+monotonically increasing sequence number so out-of-order completion of
+parallel sub-collectives cannot reorder results.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.simulation.engine import Event, Simulator
+from repro.simulation.resources import Store
+from repro.synthesis.strategy import Primitive
+
+
+@dataclass
+class WorkItem:
+    """One communication request."""
+
+    sequence: int
+    primitive: Primitive
+    tensor: np.ndarray
+    rank: int
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+class WorkQueues:
+    """Paired work/result queues for one rank."""
+
+    _sequences = itertools.count()
+
+    def __init__(self, sim: Simulator, rank: int):
+        self.sim = sim
+        self.rank = rank
+        self.work = Store(sim)
+        self.result = Store(sim)
+
+    def submit(self, primitive: Primitive, tensor: np.ndarray, **metadata: Any) -> int:
+        """Push a request; returns its sequence number."""
+        sequence = next(WorkQueues._sequences)
+        self.work.put(WorkItem(sequence, primitive, tensor, self.rank, metadata))
+        return sequence
+
+    def poll_work(self) -> Event:
+        """Event yielding the next :class:`WorkItem` (FIFO)."""
+        return self.work.get()
+
+    def complete(self, item: WorkItem, output: np.ndarray) -> None:
+        """Publish a finished request's output to the result queue."""
+        self.result.put((item.sequence, output))
+
+    def fetch_result(self) -> Event:
+        """Event yielding the next (sequence, tensor) pair."""
+        return self.result.get()
+
+    def drain_results(self) -> Dict[int, np.ndarray]:
+        """Non-blocking: all currently available results by sequence."""
+        results: Dict[int, np.ndarray] = {}
+        while True:
+            item = self.result.try_get()
+            if item is None:
+                return results
+            sequence, output = item
+            results[sequence] = output

@@ -1,0 +1,111 @@
+"""The communicator service: Work Queue → execution → Result Queue.
+
+Fig. 4's dataflow: each iteration the ML framework pushes tensors into a
+per-rank *Work Queue*; persistent context threads poll it, execute the
+communication, and deliver communicated tensors through the *Result Queue*
+for continued computation. :class:`CollectiveService` reproduces that
+loop on the simulator: a dispatcher process matches same-position requests
+across ranks (a collective needs all participants' submissions), executes
+them in submission order, and completes every rank's result queue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import CommunicatorError
+from repro.runtime.collectives import launch_allreduce
+from repro.runtime.queues import WorkItem, WorkQueues
+from repro.synthesis.strategy import Primitive, Strategy
+from repro.topology.graph import LogicalTopology
+
+
+class CollectiveService:
+    """Executes queued collective requests in order, across all ranks.
+
+    One service per job. Ranks submit with :meth:`submit`; the dispatcher
+    (a simulated process started by :meth:`start`) waits until every
+    participant has submitted the next request, checks they agree on the
+    primitive, executes, and pushes each rank's output into its result
+    queue. FIFO order per rank is preserved — the paper's "executed in
+    order" guarantee.
+    """
+
+    def __init__(
+        self,
+        topology: LogicalTopology,
+        strategy_provider,
+        byte_scale: float = 1.0,
+    ):
+        self.topology = topology
+        self.sim = topology.cluster.sim
+        #: Callable (primitive, tensor_size, participants) -> Strategy.
+        self.strategy_provider = strategy_provider
+        self.byte_scale = byte_scale
+        self.queues: Dict[int, WorkQueues] = {
+            gpu.rank: WorkQueues(self.sim, gpu.rank) for gpu in topology.cluster.gpus
+        }
+        self.executed = 0
+        self._running = False
+
+    # -- framework-facing API -------------------------------------------------------
+
+    def submit(self, rank: int, primitive: Primitive, tensor: np.ndarray) -> int:
+        """Push one rank's request; returns its sequence number."""
+        if rank not in self.queues:
+            raise CommunicatorError(f"unknown rank {rank}")
+        return self.queues[rank].submit(primitive, tensor)
+
+    def fetch(self, rank: int):
+        """Event yielding the next (sequence, output tensor) for a rank."""
+        return self.queues[rank].fetch_result()
+
+    # -- dispatcher -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the dispatcher process (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self.sim.process(self._dispatch(), name="collective-service")
+
+    def stop(self) -> None:
+        """Stop after the in-flight request completes."""
+        self._running = False
+
+    def _dispatch(self):
+        ranks = sorted(self.queues)
+        while self._running:
+            # Wait for every rank's next request (a collective is only
+            # triggered when all participants have submitted).
+            items: List[WorkItem] = []
+            for rank in ranks:
+                item = yield self.queues[rank].poll_work()
+                items.append(item)
+            primitives = {item.primitive for item in items}
+            if len(primitives) != 1:
+                raise CommunicatorError(
+                    f"ranks disagree on the collective: {sorted(p.value for p in primitives)}"
+                )
+            primitive = items[0].primitive
+            if primitive is not Primitive.ALLREDUCE:
+                raise CommunicatorError(
+                    "the queued dispatcher currently serves AllReduce (the "
+                    f"training path); got {primitive.value}"
+                )
+            tensors = {item.rank: item.tensor for item in items}
+            length = len(items[0].tensor)
+            tensor_size = length * items[0].tensor.itemsize * self.byte_scale
+            strategy = self.strategy_provider(primitive, tensor_size, ranks)
+            # The dispatcher runs *inside* the simulation, so it uses the
+            # non-blocking launch form and yields on completion.
+            pending = launch_allreduce(
+                self.topology, strategy, tensors, byte_scale=self.byte_scale
+            )
+            yield pending.done
+            result = pending.result()
+            for item in items:
+                self.queues[item.rank].complete(item, result.outputs[item.rank])
+            self.executed += 1

@@ -1,0 +1,338 @@
+"""Core discrete-event engine: events, processes, and the simulator loop.
+
+The engine follows the SimPy model. Simulated activities are Python
+generators ("processes") that ``yield`` :class:`Event` objects; the
+simulator resumes a process when the event it waits on triggers. Time only
+advances between events, so a run is fully deterministic.
+
+Three ideas cover everything in this module:
+
+* :class:`Event` — a one-shot occurrence with a value (or an exception).
+  Callbacks registered on the event fire when it is processed.
+* :class:`Process` — an event that wraps a generator. It triggers when the
+  generator returns (value = ``StopIteration`` value) or raises.
+* :class:`Simulator` — the clock plus a priority queue of scheduled events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import ProcessInterrupt, SimulationError
+
+#: Events scheduled with URGENT priority sort before NORMAL ones at the same
+#: simulated time. The engine uses URGENT internally for process resumption
+#: so that a process sees the world as it was when its event triggered.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event goes through three states: *pending* (created, not triggered),
+    *triggered* (scheduled with a value, waiting in the queue), and
+    *processed* (callbacks have run). ``succeed``/``fail`` move a pending
+    event to triggered.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been given a value and scheduled."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded. Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance when it failed)."""
+        if not self._triggered:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.sim._schedule(self, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        A process waiting on the event will have the exception thrown into
+        its generator.
+        """
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._triggered = True
+        self.sim._schedule(self, priority=priority)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event was already processed the callback runs immediately —
+        this makes late waiters safe.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self._processed else "triggered" if self._triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        sim._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a process at creation time."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        self._triggered = True
+        sim._schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """An event wrapping a generator that yields events.
+
+    The process triggers when the generator finishes; its value is the
+    generator's return value. If the generator raises, the process fails
+    with that exception (re-raised at ``Simulator.run`` unless some other
+    process is waiting on it).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None when running
+        #: or finished). Used by interrupt().
+        self._target: Optional[Event] = None
+        Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the generator has not finished yet."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`ProcessInterrupt` into the process.
+
+        The process is rescheduled immediately; the event it was waiting on
+        stays pending and may still be consumed later.
+        """
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is None:
+            raise SimulationError("cannot interrupt a process that is not waiting")
+        interrupt_event = Event(self.sim)
+        interrupt_event._ok = False
+        interrupt_event._value = ProcessInterrupt(cause)
+        interrupt_event._triggered = True
+        interrupt_event.callbacks.append(self._resume)
+        self.sim._schedule(interrupt_event, priority=URGENT)
+        # Detach from the original target so its trigger no longer resumes us.
+        target = self._target
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._target = None
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the event's outcome.
+
+        Runs as a loop rather than recursing so that yielding a long chain
+        of already-processed events (common in chunk pipelines) cannot blow
+        the Python stack.
+        """
+        while True:
+            self.sim._active_process = self
+            self._target = None
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self.sim._active_process = None
+                self.succeed(stop.value, priority=URGENT)
+                return
+            except BaseException as exc:  # noqa: BLE001 - propagate via event
+                self.sim._active_process = None
+                self.fail(exc, priority=URGENT)
+                return
+            self.sim._active_process = None
+            if not isinstance(next_event, Event):
+                self._generator.close()
+                self.fail(
+                    SimulationError(
+                        f"process {self.name!r} yielded {next_event!r}, expected an Event"
+                    ),
+                    priority=URGENT,
+                )
+                return
+            if next_event.processed:
+                event = next_event  # already done: consume without recursing
+                continue
+            self._target = next_event
+            next_event.add_callback(self._resume)
+            return
+
+
+class Simulator:
+    """The simulation clock and event queue.
+
+    All simulated objects hold a reference to their simulator and create
+    events through it. ``run()`` processes events in (time, priority,
+    insertion order) until the queue is empty or ``until`` is reached.
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: List = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- event creation -----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register ``generator`` as a process starting immediately."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """Event triggering when every event in ``events`` has succeeded."""
+        from repro.simulation.primitives import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """Event triggering when any event in ``events`` triggers."""
+        from repro.simulation.primitives import AnyOf
+
+        return AnyOf(self, list(events))
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        time, _priority, _seq, event = heapq.heappop(self._queue)
+        if time < self.now - 1e-12:
+            raise SimulationError("event scheduled in the past")
+        self.now = max(self.now, time)
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not callbacks:
+            # A failed event nobody waited on: surface the error.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue empties or the clock reaches ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if no event falls on it.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"run(until={until}) is in the past (now={self.now})")
+        while self._queue:
+            if until is not None and self.peek() > until:
+                break
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_until_complete(self, event: Event, limit: float = float("inf")) -> Any:
+        """Run until ``event`` is processed; return its value.
+
+        Raises the event's exception if it failed, or
+        :class:`SimulationError` if the queue empties (deadlock) or the
+        clock passes ``limit`` first.
+        """
+        while not event.processed:
+            if not self._queue:
+                raise SimulationError(
+                    f"deadlock: event queue empty at t={self.now} before {event!r}"
+                )
+            if self.peek() > limit:
+                raise SimulationError(f"time limit {limit} exceeded waiting for {event!r}")
+            self.step()
+        if not event.ok:
+            raise event.value
+        return event.value

@@ -1,0 +1,117 @@
+"""Shared resources for simulated processes.
+
+:class:`Store` is an unbounded-or-bounded FIFO queue of arbitrary items —
+the analogue of the Work/Result queues in AdapCC's communicator.
+:class:`Semaphore` provides counted mutual exclusion, used to model
+exclusive use of a hardware unit (e.g. a copy engine).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.simulation.engine import Event, Simulator
+
+
+class Store:
+    """A FIFO queue that simulated processes put items into and get from.
+
+    ``put`` blocks (returns a pending event) when the store is at
+    ``capacity``; ``get`` blocks when the store is empty. Waiters are served
+    in FIFO order, so the store is fair.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()
+        self._putter_items: Deque[Any] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Add ``item``; the returned event triggers once the item is stored."""
+        event = Event(self.sim)
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed()
+        elif len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed()
+        else:
+            self._putters.append(event)
+            self._putter_items.append(item)
+        return event
+
+    def get(self) -> Event:
+        """Remove and return the oldest item; blocks while empty."""
+        event = Event(self.sim)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get: the oldest item, or ``None`` when empty."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self._admit_putter()
+        return item
+
+    def _admit_putter(self) -> None:
+        if self._putters and len(self.items) < self.capacity:
+            putter = self._putters.popleft()
+            self.items.append(self._putter_items.popleft())
+            putter.succeed()
+
+
+class Semaphore:
+    """A counted lock for simulated processes.
+
+    ``acquire`` returns an event that triggers once a slot is free;
+    ``release`` frees a slot and wakes the oldest waiter.
+    """
+
+    def __init__(self, sim: Simulator, slots: int = 1):
+        if slots < 1:
+            raise SimulationError("semaphore needs at least one slot")
+        self.sim = sim
+        self.slots = slots
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        """Number of currently free slots."""
+        return self.slots - self._in_use
+
+    def acquire(self) -> Event:
+        """Event that fires once a slot is held (FIFO among waiters)."""
+        event = Event(self.sim)
+        if self._in_use < self.slots:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Free a slot, waking the oldest waiter if any."""
+        if self._in_use == 0:
+            raise SimulationError("release() of a semaphore that is not held")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1

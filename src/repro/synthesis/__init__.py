@@ -1,0 +1,42 @@
+"""Strategy synthesis — the paper's core contribution (Sec. IV-D).
+
+Given the profiled logical topology, the synthesizer picks, for each
+collective primitive:
+
+* **routing** — M parallel sub-collectives, each with its own communication
+  graph (flow paths obeying flow conservation, eq. 1);
+* **chunk size** — C_m for pipelined transmission (eqs. 5–6);
+* **aggregation control** — whether each GPU node aggregates or relays
+  (a_{m,g}, eq. 2);
+
+minimizing the completion time of the whole collective (eq. 4) under
+equal-share bandwidth contention (eq. 3).
+
+The paper solves the resulting mixed-integer program with Gurobi; offline
+we substitute a structured search (:mod:`repro.synthesis.optimizer`) over
+routing families scored by an exact implementation of the paper's cost
+equations (:mod:`repro.synthesis.evaluator`). See DESIGN.md §2.
+"""
+
+from repro.synthesis.strategy import (
+    Flow,
+    Primitive,
+    Strategy,
+    SubCollective,
+    strategy_from_xml,
+    strategy_to_xml,
+)
+from repro.synthesis.evaluator import StrategyEvaluator
+from repro.synthesis.optimizer import Synthesizer, SynthesizerConfig
+
+__all__ = [
+    "Flow",
+    "Primitive",
+    "Strategy",
+    "StrategyEvaluator",
+    "SubCollective",
+    "Synthesizer",
+    "SynthesizerConfig",
+    "strategy_from_xml",
+    "strategy_to_xml",
+]

@@ -1,0 +1,361 @@
+"""Strategy evaluation: the paper's cost model, eqs. (2)–(6).
+
+Given a candidate strategy (routed flows + chunk sizes + aggregation
+flags), compute the predicted completion time of the collective:
+
+* **link loads** N^m_{i,j} per the primitive-specific bandwidth-sharing
+  rules — Reduce merges flows downstream of an aggregation point,
+  Broadcast groups replicas of the same data, AlltoAll sums distinct
+  flows;
+* **shared bandwidth** 1/β̃ = 1/(β · Σ_m N^m) (eq. 3) — concurrent
+  sub-collectives contend on every link they share;
+* **chunk ready times** h^f_j (eq. 2) — store-and-forward per hop, with a
+  synchronization ``max`` at aggregating nodes (plus the aggregation
+  kernel's own cost, which the paper's executor pays and ours does too);
+* **flow finish times** T_f = h_dst + ⌈S_m/C_m⌉·T_bottle (eqs. 5–6);
+* **objective** max_f T_f (eq. 4).
+
+The implementation generalizes the paper's per-primitive load formulas via
+*traffic units*: a flow contributes an independent unit to every edge it
+crosses until it passes an aggregating node, after which all flows merged
+there continue as one shared unit. On reduce trees this reproduces the
+paper's recursive formula exactly (tested); on arbitrary DAGs it remains
+well-defined.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.errors import SynthesisError
+from repro.synthesis.strategy import Primitive, Strategy, SubCollective
+from repro.topology.graph import EdgeKind, LogicalTopology, NodeId, NodeKind
+
+EdgeKey = Tuple[NodeId, NodeId]
+#: A traffic unit: ("flow", flow index) before any aggregation,
+#: ("agg", node) downstream of an aggregation at that node, or
+#: ("bcast", src) for broadcast replicas.
+Unit = Tuple
+
+
+class EvaluationResult:
+    """Objective plus per-flow and per-edge detail for inspection."""
+
+    def __init__(self) -> None:
+        self.objective: float = 0.0
+        #: (subcollective index, flow position) -> T_f
+        self.flow_times: Dict[Tuple[int, int], float] = {}
+        #: (subcollective index, edge) -> N^m_{i,j}
+        self.edge_loads: Dict[Tuple[int, EdgeKey], int] = {}
+        #: edge -> total load across sub-collectives (Σ_m N^m)
+        self.total_loads: Dict[EdgeKey, int] = {}
+
+
+class StrategyEvaluator:
+    """Evaluates strategies against one logical topology's current estimates."""
+
+    def __init__(self, topology: LogicalTopology, include_kernel_time: bool = True):
+        self.topology = topology
+        self.include_kernel_time = include_kernel_time
+
+    # -- public API ------------------------------------------------------------
+
+    def evaluate(self, strategy: Strategy) -> EvaluationResult:
+        """Full evaluation of a strategy; also validates edge existence."""
+        result = EvaluationResult()
+        units_by_sc = []
+        for sc in strategy.subcollectives:
+            units = self._edge_units(strategy.primitive, sc)
+            units_by_sc.append(units)
+            for edge_key, unit_set in units.items():
+                result.edge_loads[(sc.index, edge_key)] = len(unit_set)
+                result.total_loads[edge_key] = result.total_loads.get(edge_key, 0) + len(
+                    unit_set
+                )
+
+        rates = self._edge_rates(result.total_loads)
+        worst = 0.0
+        for sc, units in zip(strategy.subcollectives, units_by_sc):
+            flow_times = self._subcollective_times(strategy.primitive, sc, rates)
+            for position, t in enumerate(flow_times):
+                result.flow_times[(sc.index, position)] = t
+                worst = max(worst, t)
+        result.objective = worst
+        return result
+
+    def _edge_rates(self, total_loads: Dict[EdgeKey, int]) -> Dict[EdgeKey, float]:
+        """Per-stream rate on every loaded edge (refines eq. 3).
+
+        A stream's rate is bounded by three profiled quantities: the
+        single-stream bandwidth b₁ (per-channel caps), and its fair share
+        of the source NIC's and destination NIC's parallel-aggregate
+        bandwidth across *all* network streams entering/leaving that NIC —
+        logical edges sharing a NIC contend even though they are distinct
+        edges, which eq. 3's per-edge accounting misses.
+        """
+        egress: Dict[NodeId, int] = defaultdict(int)
+        ingress: Dict[NodeId, int] = defaultdict(int)
+        for (i, j), load in total_loads.items():
+            if self.topology.edge(i, j).kind is EdgeKind.NETWORK:
+                egress[i] += load
+                ingress[j] += load
+
+        line_out: Dict[NodeId, float] = {}
+        line_in: Dict[NodeId, float] = {}
+
+        def node_line(node: NodeId, outgoing: bool) -> float:
+            cache = line_out if outgoing else line_in
+            if node not in cache:
+                best = 0.0
+                for (src, dst), edge in self.topology.edges.items():
+                    if edge.kind is not EdgeKind.NETWORK:
+                        continue
+                    if (outgoing and src == node) or (not outgoing and dst == node):
+                        best = max(best, edge.effective_parallel.bandwidth)
+                cache[node] = best if best > 0 else float("inf")
+            return cache[node]
+
+        rates: Dict[EdgeKey, float] = {}
+        for (i, j), load in total_loads.items():
+            edge = self.topology.edge(i, j)
+            single = edge.effective.bandwidth
+            if edge.kind is EdgeKind.NETWORK:
+                rate = min(
+                    single,
+                    node_line(i, outgoing=True) / max(1, egress[i]),
+                    node_line(j, outgoing=False) / max(1, ingress[j]),
+                )
+            else:
+                aggregate = edge.effective_parallel.bandwidth
+                rate = min(single, aggregate / max(1, load))
+            rates[(i, j)] = max(rate, 1e-9)
+        return rates
+
+    def objective(self, strategy: Strategy) -> float:
+        """Shortcut: just the predicted completion time (eq. 4)."""
+        return self.evaluate(strategy).objective
+
+    # -- traffic units / link loads (eq. 3 rules) ---------------------------------
+
+    def _edge_units(
+        self, primitive: Primitive, sc: SubCollective
+    ) -> Dict[EdgeKey, set]:
+        """Distinct traffic units per edge for one sub-collective."""
+        units: Dict[EdgeKey, set] = defaultdict(set)
+        for flow_idx, flow in enumerate(sc.flows):
+            if primitive is Primitive.BROADCAST or primitive is Primitive.ALLGATHER:
+                # Replicas of the same data group into one unit per source.
+                unit: Unit = ("bcast", flow.src)
+                for edge in flow.edges:
+                    units[edge].add(unit)
+                continue
+            unit: Unit = ("flow", flow_idx)
+            if primitive.needs_aggregation and sc.aggregates_at(flow.path[0]):
+                # Data originating at an aggregating node leaves merged with
+                # the flows aggregated there — one shared unit, not two.
+                unit = ("agg", flow.path[0])
+            for i, j in flow.edges:
+                units[(i, j)].add(unit)
+                if primitive.needs_aggregation and sc.aggregates_at(j):
+                    unit = ("agg", j)
+        return units
+
+    # -- timing (eqs. 2, 5, 6) ------------------------------------------------------
+
+    def _edge_chunk_time(
+        self, edge_key: EdgeKey, chunk: float, rates: Dict[EdgeKey, float]
+    ) -> float:
+        """t_{i,j} = α + C/rate, rate from the shared-bandwidth model.
+
+        This is eq. 2's per-chunk transfer time with eq. 3's equal-share
+        contention refined by :meth:`_edge_rates`.
+        """
+        edge = self.topology.edge(*edge_key)
+        ab = edge.effective
+        rate = rates.get(edge_key)
+        if rate is None:
+            rate = ab.bandwidth if ab.bandwidth != float("inf") else 1e30
+        return ab.alpha + chunk / rate
+
+    def _kernel_time(self, node: NodeId, chunk: float) -> float:
+        """Aggregation kernel cost on a GPU node (0 when disabled)."""
+        if not self.include_kernel_time or node.kind is not NodeKind.GPU:
+            return 0.0
+        gpu = self.topology.cluster.gpu(node.index)
+        return gpu.spec.reduce_kernel_time(chunk)
+
+    def _subcollective_times(
+        self,
+        primitive: Primitive,
+        sc: SubCollective,
+        rates: Dict[EdgeKey, float],
+    ) -> List[float]:
+        """T_f for every flow of one sub-collective."""
+        if sc.size == 0 or not sc.flows:
+            return [0.0 for _ in sc.flows]
+        if primitive.needs_aggregation:
+            h, paces = self._ready_times_with_aggregation(sc, rates)
+            return [
+                h[(flow_idx, flow.dst)] + sc.num_chunks * paces[flow_idx]  # eq. 5
+                for flow_idx, flow in enumerate(sc.flows)
+            ]
+
+        h = self._ready_times_independent(sc, rates)
+        times: List[float] = []
+        for flow_idx, flow in enumerate(sc.flows):
+            bottleneck = 0.0
+            for i, j in flow.edges:
+                rise = h[(flow_idx, j)] - h[(flow_idx, i)]
+                bottleneck = max(bottleneck, rise)  # eq. 6
+            times.append(h[(flow_idx, flow.dst)] + sc.num_chunks * bottleneck)  # eq. 5
+        return times
+
+    def _ready_times_independent(
+        self, sc: SubCollective, rates: Dict[EdgeKey, float]
+    ) -> Dict[Tuple[int, NodeId], float]:
+        """h for primitives without aggregation: per-flow path walk."""
+        h: Dict[Tuple[int, NodeId], float] = {}
+        for flow_idx, flow in enumerate(sc.flows):
+            h[(flow_idx, flow.src)] = 0.0
+            current = 0.0
+            for i, j in flow.edges:
+                current += self._edge_chunk_time((i, j), sc.chunk_size, rates)
+                h[(flow_idx, j)] = current
+        return h
+
+    def _ready_times_with_aggregation(
+        self, sc: SubCollective, rates: Dict[EdgeKey, float]
+    ) -> Dict[Tuple[int, NodeId], float]:
+        """h and per-flow steady-state paces for reduce-style sub-collectives.
+
+        ``h`` follows eq. 2: an aggregating node's output time is the max
+        arrival over every flow traversing it (waiting for the slowest
+        chunk) plus the aggregation kernel. Aggregation nodes are resolved
+        in dependency order (upstream aggregations first); dependency comes
+        from path order — a flow visiting aggregation node v before u makes
+        u depend on v.
+
+        The returned per-flow *pace* refines eq. 6 for merged pipelines: a
+        pipeline through an aggregation point advances at the max of its
+        incoming flows' paces (and the kernel's per-chunk cost), rather
+        than at the raw h-difference across the merge edge, which would
+        double-count the one-time fill latency.
+        """
+        chunk = sc.chunk_size
+        # Per flow, positions (path indices) of aggregating nodes.
+        agg_positions: Dict[int, List[int]] = {}
+        agg_nodes: set = set()
+        for flow_idx, flow in enumerate(sc.flows):
+            positions = [
+                idx for idx, node in enumerate(flow.path) if sc.aggregates_at(node)
+            ]
+            agg_positions[flow_idx] = positions
+            agg_nodes.update(flow.path[idx] for idx in positions)
+
+        order = self._aggregation_order(sc, agg_positions)
+        agg_out: Dict[NodeId, float] = {}
+
+        def walk(flow_idx: int, stop_idx: int) -> float:
+            """Arrival time of flow's chunk at path[stop_idx].
+
+            Starts from the latest aggregation node before stop_idx (whose
+            output time must already be resolved), or from the source.
+            """
+            flow = sc.flows[flow_idx]
+            start_idx, t = 0, 0.0
+            for idx in agg_positions[flow_idx]:
+                # A flow *originating* at an aggregating node departs when
+                # that aggregation is done (its data merges with the
+                # children's chunks), hence idx == 0 counts too.
+                if idx < stop_idx:
+                    start_idx, t = idx, agg_out[flow.path[idx]]
+            for p in range(start_idx + 1, stop_idx + 1):
+                t += self._edge_chunk_time(
+                    (flow.path[p - 1], flow.path[p]), chunk, rates
+                )
+            return t
+
+        merged_pace: Dict[NodeId, float] = {}
+
+        def pace_walk(flow_idx: int, stop_idx: int) -> float:
+            """Steady-state per-chunk pace of a flow up to path[stop_idx]."""
+            flow = sc.flows[flow_idx]
+            start_idx, pace = 0, 0.0
+            for idx in agg_positions[flow_idx]:
+                if idx < stop_idx:
+                    start_idx, pace = idx, merged_pace[flow.path[idx]]
+            for p in range(start_idx + 1, stop_idx + 1):
+                pace = max(
+                    pace,
+                    self._edge_chunk_time((flow.path[p - 1], flow.path[p]), chunk, rates),
+                )
+            return pace
+
+        for node in order:
+            arrivals: List[float] = []
+            paces: List[float] = []
+            for flow_idx, flow in enumerate(sc.flows):
+                for idx in agg_positions[flow_idx]:
+                    if idx > 0 and flow.path[idx] == node:
+                        arrivals.append(walk(flow_idx, idx))
+                        paces.append(pace_walk(flow_idx, idx))
+            if arrivals:
+                kernel = self._kernel_time(node, chunk)
+                agg_out[node] = max(arrivals) + kernel
+                merged_pace[node] = max(max(paces), kernel)
+            else:
+                agg_out[node] = 0.0
+                merged_pace[node] = 0.0
+
+        # Final per-(flow, node) ready times: walk each path, resetting to
+        # the shared output time at every aggregation node (eq. 2's max).
+        h: Dict[Tuple[int, NodeId], float] = {}
+        flow_paces: Dict[int, float] = {}
+        for flow_idx, flow in enumerate(sc.flows):
+            t = agg_out[flow.path[0]] if sc.aggregates_at(flow.path[0]) else 0.0
+            h[(flow_idx, flow.src)] = t
+            for p in range(1, len(flow.path)):
+                i, j = flow.path[p - 1], flow.path[p]
+                if sc.aggregates_at(j):
+                    t = agg_out[j]
+                else:
+                    t += self._edge_chunk_time((i, j), chunk, rates)
+                h[(flow_idx, j)] = t
+            last = len(flow.path) - 1
+            if sc.aggregates_at(flow.path[last]):
+                flow_paces[flow_idx] = merged_pace[flow.path[last]]
+            else:
+                flow_paces[flow_idx] = pace_walk(flow_idx, last)
+        return h, flow_paces
+
+    def _aggregation_order(
+        self, sc: SubCollective, agg_positions: Dict[int, List[int]]
+    ) -> List[NodeId]:
+        """Dependency order over aggregation nodes (upstream first)."""
+        deps: Dict[NodeId, set] = defaultdict(set)
+        nodes: set = set()
+        for flow_idx, positions in agg_positions.items():
+            path = sc.flows[flow_idx].path
+            for earlier, later in zip(positions, positions[1:]):
+                deps[path[later]].add(path[earlier])
+            nodes.update(path[idx] for idx in positions)
+        order: List[NodeId] = []
+        resolved: set = set()
+        pending = sorted(nodes)
+        while pending:
+            progress = False
+            remaining = []
+            for node in pending:
+                if deps[node] <= resolved:
+                    order.append(node)
+                    resolved.add(node)
+                    progress = True
+                else:
+                    remaining.append(node)
+            if not progress:
+                raise SynthesisError(
+                    "cyclic aggregation dependencies; reduce routing must be tree-like"
+                )
+            pending = remaining
+        return order

@@ -1,0 +1,399 @@
+"""The synthesizer: search over routing × chunking × aggregation.
+
+This is the offline substitute for the paper's Gurobi MILP (see DESIGN.md
+§2): the objective and constraints are the paper's exactly — implemented in
+:mod:`repro.synthesis.evaluator` — and the search enumerates structured
+candidates:
+
+* every routing family in :data:`repro.synthesis.routing.TREE_FAMILIES`,
+* root placements (for AllReduce the M sub-collective roots are spread
+  over instances, which is where M-way parallelism pays off),
+* a geometric chunk-size grid,
+* a greedy aggregation-flip pass on the winner.
+
+The returned :class:`Strategy` carries the achieved objective in
+``predicted_time`` and its provenance in ``routing_family``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SynthesisError
+from repro.synthesis.aggregation import default_aggregation, improve_aggregation
+from repro.synthesis.chunking import chunk_candidates
+from repro.synthesis.evaluator import StrategyEvaluator
+from repro.synthesis.routing import (
+    TREE_FAMILIES,
+    alltoall_flows,
+    broadcast_flows,
+    reduce_flows,
+)
+from repro.synthesis.strategy import Flow, Primitive, Strategy, SubCollective
+from repro.topology.graph import LogicalTopology, gpu_node
+
+
+@dataclass
+class SynthesizerConfig:
+    """Tunables of the synthesis search."""
+
+    #: Number of parallel sub-collectives M (the paper evaluates M in
+    #: Fig. 19a and settles on 4).
+    parallelism: int = 4
+    #: Routing families to enumerate (names from TREE_FAMILIES).
+    families: Tuple[str, ...] = tuple(TREE_FAMILIES)
+    #: Whether to run the greedy aggregation-flip pass on the winner.
+    aggregation_search: bool = True
+    #: Override the chunk candidate grid (None = default geometric grid).
+    chunk_sizes: Optional[Tuple[float, ...]] = None
+    #: Two-stage search: screen every family at one representative chunk
+    #: size, then sweep the chunk grid only on the best `finalists`
+    #: families. Cuts solve time ~3x at large scales (relevant to the
+    #: paper's Fig. 19c reconstruction budget) with no observed quality
+    #: loss; set False for the exhaustive product.
+    screening: bool = True
+    finalists: int = 2
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise SynthesisError("parallelism M must be >= 1")
+        unknown = set(self.families) - set(TREE_FAMILIES)
+        if unknown:
+            raise SynthesisError(f"unknown routing families: {sorted(unknown)}")
+
+
+@dataclass
+class SynthesisReport:
+    """Bookkeeping from one synthesize() call (for Fig. 19c)."""
+
+    solve_seconds: float = 0.0
+    candidates_evaluated: int = 0
+    family_objectives: Dict[str, float] = field(default_factory=dict)
+
+
+class Synthesizer:
+    """Produces communication strategies from the (profiled) topology."""
+
+    def __init__(
+        self,
+        topology: LogicalTopology,
+        config: Optional[SynthesizerConfig] = None,
+        include_kernel_time: bool = True,
+    ):
+        self.topology = topology
+        self.config = config or SynthesizerConfig()
+        self.evaluator = StrategyEvaluator(topology, include_kernel_time=include_kernel_time)
+        self.last_report = SynthesisReport()
+
+    # -- public API -------------------------------------------------------------
+
+    def synthesize(
+        self,
+        primitive: Primitive,
+        tensor_size: float,
+        participants: Sequence[int],
+        root: Optional[int] = None,
+    ) -> Strategy:
+        """Produce the best strategy found for one primitive invocation.
+
+        ``root`` applies to Reduce/Broadcast (defaults to the lowest rank).
+        ``tensor_size`` is the per-rank tensor size S in bytes.
+        """
+        participants = sorted(set(participants))
+        if not participants:
+            raise SynthesisError("no participants")
+        if tensor_size <= 0:
+            raise SynthesisError("tensor size must be positive")
+        if root is not None and root not in participants:
+            raise SynthesisError(f"root {root} is not a participant")
+        started = time.perf_counter()
+        self.last_report = SynthesisReport()
+
+        if len(participants) == 1:
+            strategy = self._trivial(primitive, tensor_size, participants)
+        elif primitive in (Primitive.REDUCE, Primitive.BROADCAST):
+            strategy = self._synthesize_rooted(
+                primitive, tensor_size, participants, root if root is not None else participants[0]
+            )
+        elif primitive is Primitive.ALLREDUCE:
+            strategy = self._synthesize_allreduce(tensor_size, participants)
+        elif primitive is Primitive.ALLGATHER:
+            strategy = self._synthesize_allgather(tensor_size, participants)
+        elif primitive is Primitive.REDUCE_SCATTER:
+            strategy = self._synthesize_reduce_scatter(tensor_size, participants)
+        elif primitive is Primitive.ALLTOALL:
+            strategy = self._synthesize_alltoall(tensor_size, participants)
+        else:  # pragma: no cover - exhaustive over enum
+            raise SynthesisError(f"unsupported primitive {primitive}")
+
+        self.last_report.solve_seconds = time.perf_counter() - started
+        return strategy
+
+    # -- per-primitive synthesis ---------------------------------------------------
+
+    def _trivial(
+        self, primitive: Primitive, tensor_size: float, participants: List[int]
+    ) -> Strategy:
+        """Single participant: nothing to communicate, but keep the shape."""
+        rank = participants[0]
+        node = gpu_node(rank)
+        sc = SubCollective(
+            index=0,
+            size=Strategy.expected_total_size(primitive, tensor_size, 1),
+            chunk_size=tensor_size,
+            flows=[],
+            root=node if primitive.has_root else None,
+        )
+        return Strategy(
+            primitive=primitive,
+            tensor_size=tensor_size,
+            participants=participants,
+            subcollectives=[sc],
+            predicted_time=0.0,
+            routing_family="trivial",
+        )
+
+    def _synthesize_rooted(
+        self,
+        primitive: Primitive,
+        tensor_size: float,
+        participants: List[int],
+        root: int,
+    ) -> Strategy:
+        """Reduce or Broadcast with a fixed designated root."""
+        roots = [root] * self.config.parallelism
+        return self._search(primitive, tensor_size, participants, roots)
+
+    def _synthesize_allreduce(self, tensor_size: float, participants: List[int]) -> Strategy:
+        """AllReduce: reduce strategies with roots spread over instances.
+
+        The stored flows are the *reduce* half; the executor replays them
+        reversed for the broadcast half, pipelined (Sec. V-B multi-stage
+        parallelism).
+        """
+        roots = self._spread_roots(participants, self.config.parallelism)
+        return self._search(Primitive.ALLREDUCE, tensor_size, participants, roots)
+
+    def _synthesize_allgather(self, tensor_size: float, participants: List[int]) -> Strategy:
+        """AllGather: one Broadcast of each rank's shard (Sec. IV-D)."""
+        return self._search(
+            Primitive.ALLGATHER,
+            tensor_size,
+            participants,
+            roots=list(participants),
+            partition_size=tensor_size,
+        )
+
+    def _synthesize_reduce_scatter(
+        self, tensor_size: float, participants: List[int]
+    ) -> Strategy:
+        """ReduceScatter: one per-partition Reduce rooted at each rank."""
+        return self._search(
+            Primitive.REDUCE_SCATTER,
+            tensor_size,
+            participants,
+            roots=list(participants),
+            partition_size=tensor_size / len(participants),
+        )
+
+    def _synthesize_alltoall(self, tensor_size: float, participants: List[int]) -> Strategy:
+        """AlltoAll: direct pairwise flows, M parallel partitions."""
+        world = len(participants)
+        per_pair = tensor_size / world
+        m = self.config.parallelism
+        flows = alltoall_flows(self.topology, participants)
+        best: Optional[Strategy] = None
+        for chunk in self._chunks(per_pair / m):
+            subcollectives = [
+                SubCollective(
+                    index=index,
+                    size=per_pair / m,
+                    chunk_size=chunk,
+                    flows=[Flow(f.src, f.dst, list(f.path)) for f in flows],
+                )
+                for index in range(m)
+            ]
+            candidate = Strategy(
+                primitive=Primitive.ALLTOALL,
+                tensor_size=tensor_size,
+                participants=participants,
+                subcollectives=subcollectives,
+                routing_family="direct",
+            )
+            candidate.predicted_time = self.evaluator.objective(candidate)
+            self.last_report.candidates_evaluated += 1
+            if best is None or candidate.predicted_time < best.predicted_time:
+                best = candidate
+        assert best is not None
+        return best
+
+    # -- the search core ---------------------------------------------------------------
+
+    def _search(
+        self,
+        primitive: Primitive,
+        tensor_size: float,
+        participants: List[int],
+        roots: List[int],
+        partition_size: Optional[float] = None,
+    ) -> Strategy:
+        """Enumerate families × chunk sizes for a rooted (tree) primitive.
+
+        ``roots`` gives the root of each sub-collective (its length is the
+        number of sub-collectives). ``partition_size`` overrides the
+        per-sub-collective size (default: S / len(roots))."""
+        size_each = partition_size if partition_size is not None else tensor_size / len(roots)
+        family_trees = {}
+        for family_name in self.config.families:
+            family = TREE_FAMILIES[family_name]
+            family_trees[family_name] = [
+                family(self.topology, participants, sc_root, rotation=index)
+                for index, sc_root in enumerate(roots)
+            ]
+
+        all_chunks = self._chunks(size_each)
+        search_plan: List[Tuple[str, List[float]]]
+        if self.config.screening and len(self.config.families) > self.config.finalists:
+            # Stage 1: rank families at one representative chunk size.
+            screen_chunk = [all_chunks[len(all_chunks) // 2]]
+            scores = []
+            for family_name in self.config.families:
+                candidate = self._candidate(
+                    primitive, tensor_size, participants, roots,
+                    family_trees[family_name], screen_chunk[0], size_each, family_name,
+                )
+                scores.append((candidate.predicted_time, family_name))
+                self.last_report.candidates_evaluated += 1
+                self.last_report.family_objectives[family_name] = candidate.predicted_time
+            scores.sort()
+            # Stage 2: full chunk sweep on the finalists only.
+            search_plan = [
+                (name, all_chunks) for _score, name in scores[: self.config.finalists]
+            ]
+        else:
+            search_plan = [(name, all_chunks) for name in self.config.families]
+
+        best: Optional[Strategy] = None
+        for family_name, chunk_grid in search_plan:
+            trees = family_trees[family_name]
+            for chunk in chunk_grid:
+                candidate = self._candidate(
+                    primitive, tensor_size, participants, roots, trees, chunk,
+                    size_each, family_name,
+                )
+                self.last_report.candidates_evaluated += 1
+                current = self.last_report.family_objectives.get(family_name)
+                if current is None or candidate.predicted_time < current:
+                    self.last_report.family_objectives[family_name] = candidate.predicted_time
+                if best is None or candidate.predicted_time < best.predicted_time:
+                    best = candidate
+        assert best is not None
+        if self.config.aggregation_search and primitive.needs_aggregation:
+            best = improve_aggregation(best, self)
+        return best
+
+    def _candidate(
+        self,
+        primitive: Primitive,
+        tensor_size: float,
+        participants: List[int],
+        roots: List[int],
+        trees: List,
+        chunk: float,
+        size_each: float,
+        family_name: str,
+    ) -> Strategy:
+        """Build and score one (family, chunk) candidate strategy."""
+        subcollectives = []
+        for index, (sc_root, tree) in enumerate(zip(roots, trees)):
+            if primitive is Primitive.BROADCAST or primitive is Primitive.ALLGATHER:
+                flows = broadcast_flows(self.topology, tree, sc_root)
+                aggregation: Dict = {}
+            else:
+                flows = reduce_flows(self.topology, tree, sc_root)
+                aggregation = default_aggregation(tree, sc_root)
+            subcollectives.append(
+                SubCollective(
+                    index=index,
+                    size=size_each,
+                    chunk_size=chunk,
+                    flows=flows,
+                    aggregation=aggregation,
+                    root=gpu_node(sc_root),
+                )
+            )
+        candidate = Strategy(
+            primitive=primitive,
+            tensor_size=tensor_size,
+            participants=participants,
+            subcollectives=subcollectives,
+            routing_family=family_name,
+        )
+        candidate.predicted_time = self._score(candidate)
+        return candidate
+
+    def objective(self, strategy: Strategy) -> float:
+        """Score a strategy (used by the aggregation local search)."""
+        return self._score(strategy)
+
+    def _score(self, strategy: Strategy) -> float:
+        """Evaluator objective; AllReduce adds the reversed broadcast half."""
+        reduce_time = self.evaluator.objective(strategy)
+        if strategy.primitive is not Primitive.ALLREDUCE:
+            return reduce_time
+        reversed_strategy = Strategy(
+            primitive=Primitive.BROADCAST,
+            tensor_size=strategy.tensor_size,
+            participants=strategy.participants,
+            subcollectives=[
+                SubCollective(
+                    index=sc.index,
+                    size=sc.size,
+                    chunk_size=sc.chunk_size,
+                    flows=[
+                        Flow(f.dst, f.src, list(reversed(f.path))) for f in sc.flows
+                    ],
+                    root=sc.root,
+                )
+                for sc in strategy.subcollectives
+            ],
+        )
+        broadcast_time = self.evaluator.objective(reversed_strategy)
+        # The executor pipelines the two stages; the steady-state pace is
+        # set by the slower stage, with the faster stage's first-chunk
+        # latency as fill time.
+        return max(reduce_time, broadcast_time) + 0.25 * min(reduce_time, broadcast_time)
+
+    def _spread_roots(self, participants: List[int], m: int) -> List[int]:
+        """Spread sub-collective roots round-robin over well-connected
+        instances.
+
+        Roots concentrate traffic (all partitions funnel into and fan out
+        of them), so placing one on a weak NIC makes that NIC the whole
+        collective's bottleneck. Only instances whose profiled network
+        bandwidth is within 25 % of the best host roots; load then spreads
+        round-robin among them (all instances, in a homogeneous cluster).
+        """
+        from repro.synthesis.routing import instance_network_bandwidth
+
+        by_instance: Dict[int, List[int]] = {}
+        for rank in participants:
+            by_instance.setdefault(self.topology.cluster.gpu(rank).instance_id, []).append(rank)
+        bandwidth = {
+            iid: instance_network_bandwidth(self.topology, iid) for iid in by_instance
+        }
+        best = max(bandwidth.values())
+        eligible = sorted(iid for iid, bw in bandwidth.items() if bw >= 0.75 * best)
+        roots = []
+        for index in range(m):
+            instance = eligible[index % len(eligible)]
+            ranks = sorted(by_instance[instance])
+            roots.append(ranks[(index // len(eligible)) % len(ranks)])
+        return roots
+
+    def _chunks(self, partition_size: float) -> List[float]:
+        if self.config.chunk_sizes is not None:
+            return [min(c, partition_size) for c in self.config.chunk_sizes]
+        return chunk_candidates(partition_size)

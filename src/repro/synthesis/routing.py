@@ -1,0 +1,302 @@
+"""Routing candidate generation.
+
+The synthesizer's search space over communication graphs is organized as
+*routing families*. Each family builds, for given participants and root, a
+reduce tree expressed as parent pointers over GPU ranks; reversal gives the
+broadcast graph and AlltoAll uses direct pairwise routes. Families:
+
+* ``hierarchical-tree`` — per-instance reduction onto a local leader, then
+  a bandwidth-sorted binary tree over leaders (weak NICs become leaves —
+  the key heterogeneity-awareness the paper's optimizer discovers);
+* ``hierarchical-star`` — local reduction, then every leader sends
+  directly to the root (minimizes hops; the root's ingress is shared);
+* ``hierarchical-chain`` — local reduction, then a bandwidth-ordered chain
+  of leaders (maximizes per-link pipelining, linear in latency);
+* ``flat-star`` — every GPU sends straight to the root (best at small
+  sizes where latency dominates);
+* ``widest-tree`` — Prim-style maximum-bottleneck-bandwidth arborescence
+  over all GPUs, ignoring instance structure (lets the evaluator judge
+  whether cross-instance shortcuts pay off).
+
+All families consult the topology's *effective* (profiled) link estimates,
+so re-profiling changes the produced trees — this is the adaptivity loop.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SynthesisError
+from repro.synthesis.strategy import Flow
+from repro.topology.graph import EdgeKind, LogicalTopology, NodeId, gpu_node, nic_node
+
+#: parent pointer map: rank -> parent rank (root maps to itself).
+Tree = Dict[int, int]
+
+
+# -- path expansion -------------------------------------------------------------
+
+
+def hop_path(topology: LogicalTopology, src_rank: int, dst_rank: int) -> List[NodeId]:
+    """Node walk of a single logical hop between two GPUs.
+
+    Same instance: the direct GPU→GPU edge. Cross instance: through both
+    instances' NICs.
+    """
+    src = topology.cluster.gpu(src_rank)
+    dst = topology.cluster.gpu(dst_rank)
+    if src.instance_id == dst.instance_id:
+        return [gpu_node(src_rank), gpu_node(dst_rank)]
+    return [
+        gpu_node(src_rank),
+        nic_node(src.instance_id),
+        nic_node(dst.instance_id),
+        gpu_node(dst_rank),
+    ]
+
+
+def tree_flow_paths(
+    topology: LogicalTopology, tree: Tree, root: int
+) -> Dict[int, List[NodeId]]:
+    """Per-rank node walk from each non-root rank to the root along the tree."""
+    paths: Dict[int, List[NodeId]] = {}
+    for rank in tree:
+        if rank == root:
+            continue
+        walk: List[NodeId] = [gpu_node(rank)]
+        current = rank
+        hops = 0
+        while current != root:
+            parent = tree[current]
+            if parent == current:
+                raise SynthesisError(f"rank {current} is a non-root fixed point")
+            walk.extend(hop_path(topology, current, parent)[1:])
+            current = parent
+            hops += 1
+            if hops > len(tree):
+                raise SynthesisError("tree contains a cycle")
+        paths[rank] = walk
+    return paths
+
+
+def tree_interior_ranks(tree: Tree, root: int) -> List[int]:
+    """Ranks with at least one child (aggregation points), root included."""
+    children: Dict[int, int] = defaultdict(int)
+    for rank, parent in tree.items():
+        if rank != root:
+            children[parent] += 1
+    return sorted(set(list(children.keys()) + [root]))
+
+
+# -- link-quality helpers ----------------------------------------------------------
+
+
+def gpu_pair_bandwidth(topology: LogicalTopology, a: int, b: int) -> float:
+    """Effective bandwidth of the one-hop route a→b (bottleneck over edges)."""
+    path = hop_path(topology, a, b)
+    return min(edge.effective.bandwidth for edge in topology.path_edges(path))
+
+
+def instance_network_bandwidth(topology: LogicalTopology, instance_id: int) -> float:
+    """Representative network bandwidth of an instance (max over its
+    outgoing NIC edges' effective estimates)."""
+    node = nic_node(instance_id)
+    bandwidths = [
+        edge.effective.bandwidth
+        for (src, _dst), edge in topology.edges.items()
+        if src == node and edge.kind is EdgeKind.NETWORK
+    ]
+    if not bandwidths:
+        return float("inf")  # single instance: no network constraint
+    return max(bandwidths)
+
+
+# -- tree families -----------------------------------------------------------------
+
+
+def _group_by_instance(topology: LogicalTopology, participants: Sequence[int]) -> Dict[int, List[int]]:
+    groups: Dict[int, List[int]] = defaultdict(list)
+    for rank in participants:
+        groups[topology.cluster.gpu(rank).instance_id].append(rank)
+    return dict(groups)
+
+
+def _local_leaders(
+    topology: LogicalTopology,
+    groups: Dict[int, List[int]],
+    root: int,
+    rotation: int = 0,
+) -> Dict[int, int]:
+    """Pick one leader per instance; the root leads its own instance.
+
+    ``rotation`` rotates the leader choice so different sub-collectives
+    spread intra-instance load over different NVLinks (the analogue of
+    NCCL's multiple channels).
+    """
+    root_instance = topology.cluster.gpu(root).instance_id
+    leaders: Dict[int, int] = {}
+    for instance_id, ranks in groups.items():
+        if instance_id == root_instance:
+            leaders[instance_id] = root
+        else:
+            ordered = sorted(ranks)
+            leaders[instance_id] = ordered[rotation % len(ordered)]
+    return leaders
+
+
+def _attach_locals(tree: Tree, groups: Dict[int, List[int]], leaders: Dict[int, int]) -> None:
+    """Star every non-leader GPU onto its instance leader."""
+    for instance_id, ranks in groups.items():
+        leader = leaders[instance_id]
+        for rank in ranks:
+            if rank != leader:
+                tree[rank] = leader
+
+
+def hierarchical_tree(
+    topology: LogicalTopology,
+    participants: Sequence[int],
+    root: int,
+    rotation: int = 0,
+    fanout: int = 2,
+) -> Tree:
+    """Local leaders + bandwidth-sorted ``fanout``-ary tree over leaders."""
+    groups = _group_by_instance(topology, participants)
+    leaders = _local_leaders(topology, groups, root, rotation)
+    tree: Tree = {root: root}
+    _attach_locals(tree, groups, leaders)
+
+    root_instance = topology.cluster.gpu(root).instance_id
+    other = [iid for iid in groups if iid != root_instance]
+    # High-bandwidth instances become interior nodes; weak NICs end up as
+    # leaves so they never forward other instances' aggregated traffic.
+    other.sort(key=lambda iid: instance_network_bandwidth(topology, iid), reverse=True)
+    ordered_instances = [root_instance] + other
+    for position, instance_id in enumerate(ordered_instances):
+        if position == 0:
+            continue
+        parent_instance = ordered_instances[(position - 1) // fanout]
+        tree[leaders[instance_id]] = leaders[parent_instance]
+    return tree
+
+
+def hierarchical_star(
+    topology: LogicalTopology, participants: Sequence[int], root: int, rotation: int = 0
+) -> Tree:
+    """Local leaders all sending directly to the root."""
+    groups = _group_by_instance(topology, participants)
+    leaders = _local_leaders(topology, groups, root, rotation)
+    tree: Tree = {root: root}
+    _attach_locals(tree, groups, leaders)
+    root_instance = topology.cluster.gpu(root).instance_id
+    for instance_id, leader in leaders.items():
+        if instance_id != root_instance:
+            tree[leader] = root
+    return tree
+
+
+def hierarchical_chain(
+    topology: LogicalTopology, participants: Sequence[int], root: int, rotation: int = 0
+) -> Tree:
+    """Local leaders chained in ascending bandwidth order toward the root.
+
+    The weakest instance sits at the far end of the chain so every link
+    carries exactly one aggregated flow — the chain trades latency (depth)
+    for zero fan-in contention.
+    """
+    groups = _group_by_instance(topology, participants)
+    leaders = _local_leaders(topology, groups, root, rotation)
+    tree: Tree = {root: root}
+    _attach_locals(tree, groups, leaders)
+    root_instance = topology.cluster.gpu(root).instance_id
+    other = [iid for iid in groups if iid != root_instance]
+    other.sort(key=lambda iid: instance_network_bandwidth(topology, iid))
+    chain_instances = other + [root_instance]
+    for a, b in zip(chain_instances, chain_instances[1:]):
+        tree[leaders[a]] = leaders[b]
+    return tree
+
+
+def flat_star(
+    topology: LogicalTopology, participants: Sequence[int], root: int, rotation: int = 0
+) -> Tree:
+    """Every participant sends directly to the root."""
+    tree: Tree = {root: root}
+    for rank in participants:
+        if rank != root:
+            tree[rank] = root
+    return tree
+
+
+def widest_tree(
+    topology: LogicalTopology, participants: Sequence[int], root: int, rotation: int = 0
+) -> Tree:
+    """Prim-style maximum-bottleneck arborescence into the root.
+
+    Repeatedly attach the unattached GPU whose best link into the attached
+    set has the highest effective bandwidth.
+    """
+    remaining = set(participants) - {root}
+    tree: Tree = {root: root}
+    attached = [root]
+    while remaining:
+        best: Optional[Tuple[float, int, int]] = None
+        for rank in sorted(remaining):
+            for candidate_parent in attached:
+                bandwidth = gpu_pair_bandwidth(topology, rank, candidate_parent)
+                if best is None or bandwidth > best[0]:
+                    best = (bandwidth, rank, candidate_parent)
+        assert best is not None
+        _bandwidth, rank, parent = best
+        tree[rank] = parent
+        attached.append(rank)
+        remaining.remove(rank)
+    return tree
+
+
+#: All reduce-tree families the optimizer enumerates, by name.
+TREE_FAMILIES: Dict[str, Callable[..., Tree]] = {
+    "hierarchical-tree": hierarchical_tree,
+    "hierarchical-star": hierarchical_star,
+    "hierarchical-chain": hierarchical_chain,
+    "flat-star": flat_star,
+    "widest-tree": widest_tree,
+}
+
+
+# -- flow construction -----------------------------------------------------------------
+
+
+def reduce_flows(topology: LogicalTopology, tree: Tree, root: int) -> List[Flow]:
+    """One flow per non-root participant, routed along the tree (eq. 1)."""
+    paths = tree_flow_paths(topology, tree, root)
+    return [
+        Flow(src=gpu_node(rank), dst=gpu_node(root), path=path)
+        for rank, path in sorted(paths.items())
+    ]
+
+
+def broadcast_flows(topology: LogicalTopology, tree: Tree, root: int) -> List[Flow]:
+    """Broadcast = the reduce tree reversed: root → every participant."""
+    paths = tree_flow_paths(topology, tree, root)
+    return [
+        Flow(src=gpu_node(root), dst=gpu_node(rank), path=list(reversed(path)))
+        for rank, path in sorted(paths.items())
+    ]
+
+
+def alltoall_flows(topology: LogicalTopology, participants: Sequence[int]) -> List[Flow]:
+    """Direct pairwise flows for AlltoAll (every ordered pair)."""
+    flows = []
+    for src in participants:
+        for dst in participants:
+            if src != dst:
+                flows.append(
+                    Flow(
+                        src=gpu_node(src),
+                        dst=gpu_node(dst),
+                        path=hop_path(topology, src, dst),
+                    )
+                )
+    return flows

@@ -1,0 +1,299 @@
+"""Strategy data model and XML serialization.
+
+A :class:`Strategy` is the synthesizer's output and the communicator's
+input, mirroring the paper's pipeline ("The strategies are output in an XML
+format and parsed by the Communicator", Sec. IV-D). It holds M
+:class:`SubCollective` entries, each a set of routed :class:`Flow` objects
+over the logical topology plus chunk size and per-node aggregation flags.
+"""
+
+from __future__ import annotations
+
+import enum
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import StrategyFormatError, SynthesisError
+from repro.topology.graph import NodeId, NodeKind  # noqa: F401 (NodeKind used in checks)
+
+
+class Primitive(enum.Enum):
+    """Collective primitives AdapCC synthesizes strategies for.
+
+    Reduce, Broadcast and AlltoAll are the base many-to-one, one-to-many
+    and many-to-many cases; AllReduce = Reduce + reversed Broadcast,
+    AllGather = one Broadcast per GPU, ReduceScatter = per-partition Reduce
+    (Sec. IV-D).
+    """
+
+    REDUCE = "reduce"
+    BROADCAST = "broadcast"
+    ALLREDUCE = "allreduce"
+    ALLGATHER = "allgather"
+    REDUCE_SCATTER = "reduce_scatter"
+    ALLTOALL = "alltoall"
+
+    @property
+    def needs_aggregation(self) -> bool:
+        """Whether the primitive sums tensors (sets hasKernel on ranks)."""
+        return self in (Primitive.REDUCE, Primitive.ALLREDUCE, Primitive.REDUCE_SCATTER)
+
+    @property
+    def has_root(self) -> bool:
+        """Whether each sub-collective designates a root GPU."""
+        return self in (
+            Primitive.REDUCE,
+            Primitive.BROADCAST,
+            Primitive.ALLREDUCE,
+            Primitive.REDUCE_SCATTER,
+        )
+
+
+@dataclass
+class Flow:
+    """One routed flow: tensor data moving from ``src`` to ``dst``.
+
+    ``path`` is the full node walk src → … → dst over the logical topology
+    (eq. 1's x variables in path form — flow conservation holds by
+    construction).
+    """
+
+    src: NodeId
+    dst: NodeId
+    path: List[NodeId]
+
+    def __post_init__(self) -> None:
+        if len(self.path) < 2:
+            raise SynthesisError(f"flow {self.src}->{self.dst}: path too short")
+        if self.path[0] != self.src or self.path[-1] != self.dst:
+            raise SynthesisError(
+                f"flow {self.src}->{self.dst}: path endpoints {self.path[0]}, "
+                f"{self.path[-1]} do not match"
+            )
+        gpu_nodes = [n for n in self.path if n.kind is NodeKind.GPU]
+        if len(set(gpu_nodes)) != len(gpu_nodes):
+            raise SynthesisError(f"flow {self.src}->{self.dst}: path revisits a GPU")
+        # NIC nodes legitimately repeat when a flow relays through another
+        # instance's GPU (in through the NIC, out through it again), but
+        # never back-to-back.
+        for a, b in zip(self.path, self.path[1:]):
+            if a == b:
+                raise SynthesisError(f"flow {self.src}->{self.dst}: self-loop at {a}")
+
+    @property
+    def edges(self) -> List[Tuple[NodeId, NodeId]]:
+        """Ordered (src, dst) node pairs along the path."""
+        return list(zip(self.path, self.path[1:]))
+
+
+@dataclass
+class SubCollective:
+    """One of the M parallel sub-collectives (Fig. 8a).
+
+    ``size`` is S_m (bytes of tensor partition), ``chunk_size`` is C_m,
+    ``aggregation`` maps GPU nodes to a_{m,g} (absent = 0 / no kernel).
+    """
+
+    index: int
+    size: float
+    chunk_size: float
+    flows: List[Flow]
+    aggregation: Dict[NodeId, bool] = field(default_factory=dict)
+    root: Optional[NodeId] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise SynthesisError(f"sub-collective {self.index}: negative size")
+        if self.chunk_size <= 0:
+            raise SynthesisError(f"sub-collective {self.index}: chunk size must be positive")
+        for node, flag in self.aggregation.items():
+            if flag and node.kind is not NodeKind.GPU:
+                raise SynthesisError(
+                    f"sub-collective {self.index}: aggregation on non-GPU node {node}"
+                )
+
+    @property
+    def num_chunks(self) -> int:
+        """ceil(S_m / C_m) — chunks per flow in the pipeline."""
+        if self.size == 0:
+            return 0
+        return int(-(-self.size // self.chunk_size))
+
+    def aggregates_at(self, node: NodeId) -> bool:
+        """a_{m,node}, defaulting to 0."""
+        return bool(self.aggregation.get(node, False))
+
+    def aggregates_at_rank(self, rank: int) -> bool:
+        """a_{m,g} looked up by global rank."""
+        return self.aggregates_at(NodeId(NodeKind.GPU, rank))
+
+    def nodes(self) -> List[NodeId]:
+        """All nodes touched by this sub-collective's flows, deduplicated."""
+        seen: Dict[NodeId, None] = {}
+        for flow in self.flows:
+            for node in flow.path:
+                seen.setdefault(node)
+        return list(seen)
+
+
+@dataclass
+class Strategy:
+    """A complete communication strategy for one primitive invocation."""
+
+    primitive: Primitive
+    tensor_size: float
+    participants: List[int]  # global ranks
+    subcollectives: List[SubCollective]
+    predicted_time: float = 0.0
+    #: Which routing family produced this strategy (for ablation reporting).
+    routing_family: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.participants:
+            raise SynthesisError("strategy needs at least one participant")
+        if not self.subcollectives:
+            raise SynthesisError("strategy needs at least one sub-collective")
+        total = sum(sc.size for sc in self.subcollectives)
+        expected = self.expected_total_size(
+            self.primitive, self.tensor_size, len(self.participants)
+        )
+        if abs(total - expected) > 1e-6 * max(1.0, expected):
+            raise SynthesisError(
+                f"sub-collective sizes sum to {total}, expected {expected} "
+                f"for {self.primitive.value}"
+            )
+
+    @staticmethod
+    def expected_total_size(primitive: Primitive, tensor_size: float, world: int) -> float:
+        """Sum of sub-collective sizes implied by the primitive's semantics.
+
+        ``tensor_size`` is the per-rank tensor size S. Reduce-family
+        partitions sum to S; AlltoAll flows each carry the per-pair share
+        S/N (partitioned across sub-collectives); AllGather runs one
+        Broadcast of the full S-byte shard per rank.
+        """
+        if primitive is Primitive.ALLTOALL:
+            return tensor_size / max(1, world)
+        if primitive is Primitive.ALLGATHER:
+            return tensor_size * world
+        return tensor_size
+
+    @property
+    def parallelism(self) -> int:
+        """M — the number of parallel sub-collectives."""
+        return len(self.subcollectives)
+
+
+# -- XML round-trip -----------------------------------------------------------------
+
+
+def _node_to_str(node: NodeId) -> str:
+    return str(node)
+
+
+def _node_from_str(text: str) -> NodeId:
+    if not text or text[0] not in "gn":
+        raise StrategyFormatError(f"bad node id {text!r}")
+    try:
+        index = int(text[1:])
+    except ValueError:
+        raise StrategyFormatError(f"bad node id {text!r}")
+    return NodeId(NodeKind.GPU if text[0] == "g" else NodeKind.NIC, index)
+
+
+def strategy_to_xml(strategy: Strategy) -> str:
+    """Serialize a strategy to the XML document the communicator parses."""
+    root = ET.Element(
+        "strategy",
+        primitive=strategy.primitive.value,
+        tensor_size=repr(strategy.tensor_size),
+        participants=",".join(str(r) for r in strategy.participants),
+        predicted_time=repr(strategy.predicted_time),
+        routing_family=strategy.routing_family,
+    )
+    for sc in strategy.subcollectives:
+        sc_el = ET.SubElement(
+            root,
+            "subcollective",
+            index=str(sc.index),
+            size=repr(sc.size),
+            chunk_size=repr(sc.chunk_size),
+        )
+        if sc.root is not None:
+            sc_el.set("root", _node_to_str(sc.root))
+        for flow in sc.flows:
+            ET.SubElement(
+                sc_el,
+                "flow",
+                src=_node_to_str(flow.src),
+                dst=_node_to_str(flow.dst),
+                path=" ".join(_node_to_str(n) for n in flow.path),
+            )
+        agg = [node for node, flag in sc.aggregation.items() if flag]
+        if agg:
+            ET.SubElement(sc_el, "aggregation", nodes=" ".join(_node_to_str(n) for n in agg))
+    return ET.tostring(root, encoding="unicode")
+
+
+def strategy_from_xml(document: str) -> Strategy:
+    """Parse a strategy document produced by :func:`strategy_to_xml`."""
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise StrategyFormatError(f"malformed strategy XML: {exc}")
+    if root.tag != "strategy":
+        raise StrategyFormatError(f"unexpected root element {root.tag!r}")
+    try:
+        primitive = Primitive(root.get("primitive", ""))
+    except ValueError:
+        raise StrategyFormatError(f"unknown primitive {root.get('primitive')!r}")
+    try:
+        tensor_size = float(root.get("tensor_size"))
+        participants = [int(r) for r in root.get("participants", "").split(",") if r]
+        predicted_time = float(root.get("predicted_time", "0.0"))
+    except (TypeError, ValueError) as exc:
+        raise StrategyFormatError(f"bad strategy attributes: {exc}")
+
+    subcollectives = []
+    for sc_el in root.findall("subcollective"):
+        try:
+            index = int(sc_el.get("index"))
+            size = float(sc_el.get("size"))
+            chunk_size = float(sc_el.get("chunk_size"))
+        except (TypeError, ValueError) as exc:
+            raise StrategyFormatError(f"bad sub-collective attributes: {exc}")
+        sc_root = sc_el.get("root")
+        flows = []
+        for flow_el in sc_el.findall("flow"):
+            path = [_node_from_str(t) for t in flow_el.get("path", "").split()]
+            flows.append(
+                Flow(
+                    src=_node_from_str(flow_el.get("src", "")),
+                    dst=_node_from_str(flow_el.get("dst", "")),
+                    path=path,
+                )
+            )
+        aggregation: Dict[NodeId, bool] = {}
+        agg_el = sc_el.find("aggregation")
+        if agg_el is not None:
+            for token in agg_el.get("nodes", "").split():
+                aggregation[_node_from_str(token)] = True
+        subcollectives.append(
+            SubCollective(
+                index=index,
+                size=size,
+                chunk_size=chunk_size,
+                flows=flows,
+                aggregation=aggregation,
+                root=_node_from_str(sc_root) if sc_root else None,
+            )
+        )
+    return Strategy(
+        primitive=primitive,
+        tensor_size=tensor_size,
+        participants=participants,
+        subcollectives=subcollectives,
+        predicted_time=predicted_time,
+        routing_family=root.get("routing_family", ""),
+    )

@@ -1,0 +1,15 @@
+"""Logical topology construction and probe-based detection."""
+
+from repro.topology.graph import Edge, EdgeKind, LogicalTopology, NodeId, NodeKind
+from repro.topology.detector import DetectionReport, Detector, InstanceReport
+
+__all__ = [
+    "DetectionReport",
+    "Detector",
+    "Edge",
+    "EdgeKind",
+    "InstanceReport",
+    "LogicalTopology",
+    "NodeId",
+    "NodeKind",
+]

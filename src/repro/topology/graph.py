@@ -1,0 +1,331 @@
+"""The logical topology connecting all GPUs and NICs in a job.
+
+Mirrors Fig. 5(a) of the paper: nodes are GPUs and NICs; edges are
+
+* **NVLink** GPU↔GPU edges inside an instance (green lines),
+* **PCIe** GPU↔GPU edges where no NVLink exists (dotted lines),
+* **local** GPU↔NIC edges (device↔host↔NIC staging, treated as pipelined
+  behind network transfers),
+* **network** NIC↔NIC edges between every pair of instances (blue lines) —
+  instance-to-instance connectivity is taken as a full mesh (Sec. IV-A).
+
+Each edge carries (a) the concrete fluid links a transfer over it crosses,
+(b) a *nominal* α–β estimate derived from specs (what NCCL's empirical
+tables amount to), and (c) an optional *profiled* α–β estimate filled in by
+the profiler. ``effective()`` prefers the profiled value — the difference
+between nominal and profiled is exactly the adaptivity gap the paper
+exploits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.hardware.cluster import Cluster
+from repro.network.cost_model import AlphaBeta
+from repro.simulation.fluid import FluidLink
+
+
+class NodeKind(enum.Enum):
+    """Node classes of the logical topology (Fig. 5a)."""
+
+    GPU = "gpu"
+    NIC = "nic"
+
+
+@dataclass(frozen=True, order=True)
+class NodeId:
+    """A node in the logical topology.
+
+    ``index`` is the global rank for GPU nodes and the instance id for NIC
+    nodes (the paper testbed has one NIC per server; multi-NIC instances
+    get ``index = instance_id * 1000 + nic_idx``).
+    """
+
+    kind: NodeKind
+    index: int
+
+    def __str__(self) -> str:
+        return f"{'g' if self.kind is NodeKind.GPU else 'n'}{self.index}"
+
+    @property
+    def is_gpu(self) -> bool:
+        """Whether this node is a GPU (vs a NIC)."""
+        return self.kind is NodeKind.GPU
+
+
+def gpu_node(rank: int) -> NodeId:
+    """NodeId of the GPU holding ``rank``."""
+    return NodeId(NodeKind.GPU, rank)
+
+
+def nic_node(instance_id: int, nic_idx: int = 0) -> NodeId:
+    """NodeId of a NIC (primary NIC unless ``nic_idx`` given)."""
+    index = instance_id if nic_idx == 0 else instance_id * 1000 + nic_idx
+    return NodeId(NodeKind.NIC, index)
+
+
+class EdgeKind(enum.Enum):
+    """Edge classes: intra-server links, staging, and network."""
+
+    NVLINK = "nvlink"
+    PCIE = "pcie"
+    LOCAL = "local"  # GPU <-> NIC staging inside an instance
+    NETWORK = "network"  # NIC <-> NIC between instances
+
+    @property
+    def profiled(self) -> bool:
+        """Whether the profiler measures this edge kind.
+
+        The paper profiles NVLink and NIC-NIC connections; PCIe staging is
+        overlapped with network transfers and not profiled (Sec. IV-B).
+        """
+        return self in (EdgeKind.NVLINK, EdgeKind.NETWORK)
+
+
+@dataclass
+class Edge:
+    """A directed logical edge with execution path and cost estimates.
+
+    Two bandwidth figures describe an edge: the *single-stream* α–β (what
+    one flow achieves — limited by per-channel caps) and the *parallel
+    aggregate* (what several concurrent streams achieve together — the
+    line rate). AdapCC's M parallel sub-collectives make the distinction
+    matter, so the profiler measures both.
+    """
+
+    src: NodeId
+    dst: NodeId
+    kind: EdgeKind
+    fluid_links: List[FluidLink]
+    nominal: AlphaBeta
+    estimate: Optional[AlphaBeta] = None
+    #: Aggregate α–β of the edge when driven by parallel streams.
+    nominal_parallel: Optional[AlphaBeta] = None
+    estimate_parallel: Optional[AlphaBeta] = None
+
+    @property
+    def effective(self) -> AlphaBeta:
+        """Profiled single-stream α–β when available, nominal otherwise."""
+        return self.estimate if self.estimate is not None else self.nominal
+
+    @property
+    def effective_parallel(self) -> AlphaBeta:
+        """Profiled parallel-aggregate α–β, nominal otherwise."""
+        if self.estimate_parallel is not None:
+            return self.estimate_parallel
+        return self.nominal_parallel if self.nominal_parallel is not None else self.effective
+
+    def ground_truth(self) -> AlphaBeta:
+        """α–β a single probe flow would observe on the current fluid links.
+
+        The bandwidth is the single-stream achievable rate — capped by both
+        link capacity and per-stream limits — because that is what the α–β
+        model (and the profiler) describe.
+        """
+        alpha = sum(link.latency for link in self.fluid_links)
+        capacity = min(
+            (min(link.capacity, link.per_stream_cap) for link in self.fluid_links),
+            default=float("inf"),
+        )
+        beta = 0.0 if capacity == float("inf") else (1.0 / capacity if capacity > 0 else float("inf"))
+        return AlphaBeta(alpha=alpha, beta=beta)
+
+
+class LogicalTopology:
+    """Directed multigraph-free topology: at most one edge per (src, dst)."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.nodes: List[NodeId] = []
+        self.edges: Dict[Tuple[NodeId, NodeId], Edge] = {}
+        self._out: Dict[NodeId, List[NodeId]] = {}
+        self._in: Dict[NodeId, List[NodeId]] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_cluster(
+        cls,
+        cluster: Cluster,
+        nvlink_pairs: Optional[Dict[int, Iterable[Tuple[int, int]]]] = None,
+    ) -> "LogicalTopology":
+        """Build the logical graph for a cluster.
+
+        ``nvlink_pairs`` optionally overrides which local GPU pairs are
+        treated as NVLink-connected per instance (normally the detector's
+        output); by default the cluster ground truth is used.
+        """
+        topo = cls(cluster)
+        for gpu in cluster.gpus:
+            topo._add_node(gpu_node(gpu.rank))
+        for instance in cluster.instances:
+            topo._add_node(nic_node(instance.instance_id))
+
+        for instance in cluster.instances:
+            iid = instance.instance_id
+            n = instance.spec.num_gpus
+            if nvlink_pairs is not None and iid in nvlink_pairs:
+                pairs = {tuple(sorted(p)) for p in nvlink_pairs[iid]}
+            else:
+                pairs = instance.spec.resolved_nvlink_pairs()
+            for a in range(n):
+                for b in range(n):
+                    if a == b:
+                        continue
+                    src_rank = instance.gpus[a].rank
+                    dst_rank = instance.gpus[b].rank
+                    kind = EdgeKind.NVLINK if tuple(sorted((a, b))) in pairs else EdgeKind.PCIE
+                    if kind is EdgeKind.NVLINK:
+                        links = [cluster.nvlink(src_rank, dst_rank)]
+                        if links[0] is None:
+                            raise TopologyError(
+                                f"detector claims NVLink between ranks {src_rank},{dst_rank} "
+                                "but the cluster has none"
+                            )
+                    else:
+                        links = cluster.gpu_path(src_rank, dst_rank)
+                    topo._add_edge(gpu_node(src_rank), gpu_node(dst_rank), kind, links)
+            # GPU <-> NIC staging edges.
+            nic = instance.primary_nic
+            for gpu in instance.gpus:
+                staging = [cluster.pcie_bus(iid, gpu.pcie_switch)]
+                if nic.pcie_switch != gpu.pcie_switch:
+                    staging.append(cluster.pcie_bus(iid, nic.pcie_switch))
+                topo._add_edge(gpu_node(gpu.rank), nic_node(iid), EdgeKind.LOCAL, list(staging))
+                topo._add_edge(nic_node(iid), gpu_node(gpu.rank), EdgeKind.LOCAL, list(staging))
+
+        # Full mesh between instance NICs.
+        for a in cluster.instances:
+            for b in cluster.instances:
+                if a.instance_id == b.instance_id:
+                    continue
+                links = cluster.nic_path(a.instance_id, b.instance_id)
+                topo._add_edge(
+                    nic_node(a.instance_id), nic_node(b.instance_id), EdgeKind.NETWORK, links
+                )
+        return topo
+
+    def _add_node(self, node: NodeId) -> None:
+        if node in self._out:
+            raise TopologyError(f"duplicate node {node}")
+        self.nodes.append(node)
+        self._out[node] = []
+        self._in[node] = []
+
+    def _add_edge(
+        self, src: NodeId, dst: NodeId, kind: EdgeKind, links: List[FluidLink]
+    ) -> Edge:
+        if (src, dst) in self.edges:
+            raise TopologyError(f"duplicate edge {src}->{dst}")
+        alpha = sum(link.latency for link in links)
+        capacity = min(
+            (min(link.capacity, link.per_stream_cap) for link in links),
+            default=float("inf"),
+        )
+        beta = 0.0 if capacity == float("inf") else 1.0 / capacity
+        line_rate = min((link.capacity for link in links), default=float("inf"))
+        line_beta = 0.0 if line_rate == float("inf") else 1.0 / line_rate
+        edge = Edge(
+            src,
+            dst,
+            kind,
+            links,
+            nominal=AlphaBeta(alpha, beta),
+            nominal_parallel=AlphaBeta(alpha, line_beta),
+        )
+        self.edges[(src, dst)] = edge
+        self._out[src].append(dst)
+        self._in[dst].append(src)
+        return edge
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def gpu_nodes(self) -> List[NodeId]:
+        """All GPU nodes, in rank order."""
+        return [n for n in self.nodes if n.kind is NodeKind.GPU]
+
+    @property
+    def nic_nodes(self) -> List[NodeId]:
+        """All NIC nodes, one per instance."""
+        return [n for n in self.nodes if n.kind is NodeKind.NIC]
+
+    def edge(self, src: NodeId, dst: NodeId) -> Edge:
+        """The directed edge src→dst; raises TopologyError if absent."""
+        try:
+            return self.edges[(src, dst)]
+        except KeyError:
+            raise TopologyError(f"no edge {src}->{dst}")
+
+    def has_edge(self, src: NodeId, dst: NodeId) -> bool:
+        """Whether the directed edge exists."""
+        return (src, dst) in self.edges
+
+    def successors(self, node: NodeId) -> List[NodeId]:
+        """Nodes reachable over one outgoing edge."""
+        return list(self._out[node])
+
+    def predecessors(self, node: NodeId) -> List[NodeId]:
+        """Nodes with an edge into ``node``."""
+        return list(self._in[node])
+
+    def profiled_edges(self) -> List[Edge]:
+        """Edges the profiler measures (NVLink + network)."""
+        return [e for e in self.edges.values() if e.kind.profiled]
+
+    def set_estimate(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        estimate: AlphaBeta,
+        parallel: Optional[AlphaBeta] = None,
+    ) -> None:
+        """Install profiled α–β estimates on an edge.
+
+        When only the single-stream estimate is given, the parallel
+        aggregate is scaled from the nominal ratio so shaping detected by
+        the single-stream probe also shifts the aggregate.
+        """
+        edge = self.edge(src, dst)
+        edge.estimate = estimate
+        if parallel is not None:
+            edge.estimate_parallel = parallel
+        elif edge.nominal.bandwidth not in (0.0, float("inf")) and edge.nominal_parallel:
+            ratio = estimate.bandwidth / edge.nominal.bandwidth
+            aggregate = edge.nominal_parallel.bandwidth * ratio
+            edge.estimate_parallel = AlphaBeta(
+                estimate.alpha, 0.0 if aggregate == float("inf") else 1.0 / aggregate
+            )
+
+    def clear_estimates(self) -> None:
+        """Drop all profiled estimates (fall back to nominal everywhere)."""
+        for edge in self.edges.values():
+            edge.estimate = None
+            edge.estimate_parallel = None
+
+    def path_edges(self, path: List[NodeId]) -> List[Edge]:
+        """Edges along a node path; validates adjacency."""
+        return [self.edge(a, b) for a, b in zip(path, path[1:])]
+
+    def to_networkx(self, use_estimates: bool = True) -> "nx.DiGraph":
+        """Export to networkx with ``alpha``/``beta``/``bandwidth`` attributes."""
+        graph = nx.DiGraph()
+        for node in self.nodes:
+            graph.add_node(node, kind=node.kind.value)
+        for (src, dst), edge in self.edges.items():
+            ab = edge.effective if use_estimates else edge.nominal
+            graph.add_edge(
+                src,
+                dst,
+                kind=edge.kind.value,
+                alpha=ab.alpha,
+                beta=ab.beta,
+                bandwidth=ab.bandwidth,
+            )
+        return graph

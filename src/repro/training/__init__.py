@@ -1,0 +1,40 @@
+"""Training substrate: models, compute/straggler models, data sharding,
+interference, the trainer loop, and a convergence simulator.
+
+This package plays the role of PyTorch + the training scripts in the
+paper's evaluation: it produces per-worker compute times (with realistic
+skew), drives collectives through a chosen backend each iteration, and
+reports the iteration/communication-time metrics the figures plot.
+"""
+
+from repro.training.models import (
+    GPT2,
+    MOE,
+    VGG16,
+    VIT,
+    ModelSpec,
+    PAPER_MODELS,
+)
+from repro.training.compute import ComputeModel
+from repro.training.interference import InterferenceModel
+from repro.training.data import ShardedDataLoader
+from repro.training.trainer import IterationStats, Trainer, TrainerConfig
+from repro.training.convergence import AggregationMode, ConvergenceRun, train_convergence
+
+__all__ = [
+    "AggregationMode",
+    "ComputeModel",
+    "ConvergenceRun",
+    "GPT2",
+    "InterferenceModel",
+    "IterationStats",
+    "MOE",
+    "ModelSpec",
+    "PAPER_MODELS",
+    "ShardedDataLoader",
+    "Trainer",
+    "TrainerConfig",
+    "VGG16",
+    "VIT",
+    "train_convergence",
+]

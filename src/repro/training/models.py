@@ -1,0 +1,92 @@
+"""Workload model descriptors (paper Sec. VI-D).
+
+The four models the paper trains, with the gradient sizes it states and
+training-compute estimates from the architectures:
+
+* VGG16 — 528 MB gradients, ImageNet, local batch 128, AllReduce.
+* GPT-2 — 475 MB, persona-chat, local batch 16, AllReduce.
+* ViT  — 208 MB, ImageNet, local batch 128, AllReduce.
+* MoE  — 512 MB expert activations (fastMoE, one expert per GPU, two
+  linear layers), dummy data, AlltoAll for token dispatch.
+
+``flops_per_sample`` is the fwd+bwd training cost per sample — its
+absolute calibration only shifts the compute/communication ratio; the
+figures compare backends under identical workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TrainingError
+from repro.hardware.links import MB
+from repro.synthesis.strategy import Primitive
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One DNN workload."""
+
+    name: str
+    #: Bytes communicated per iteration per worker (gradients, or dispatched
+    #: tokens for MoE).
+    tensor_bytes: float
+    #: Training FLOPs per sample (forward + backward).
+    flops_per_sample: float
+    #: Default per-GPU batch size used in the paper.
+    default_batch: int
+    #: The collective the model's training step issues.
+    primitive: Primitive
+    dataset: str = ""
+
+    def __post_init__(self) -> None:
+        if self.tensor_bytes <= 0 or self.flops_per_sample <= 0 or self.default_batch < 1:
+            raise TrainingError(f"invalid model spec {self.name}")
+
+    def compute_seconds(self, batch: int, effective_flops: float) -> float:
+        """Noise-free compute time of one iteration at the given batch."""
+        if batch < 1:
+            raise TrainingError("batch must be at least 1")
+        if effective_flops <= 0:
+            raise TrainingError("compute throughput must be positive")
+        return batch * self.flops_per_sample / effective_flops
+
+
+VGG16 = ModelSpec(
+    name="VGG16",
+    tensor_bytes=528 * MB,
+    flops_per_sample=46.5e9,  # 15.5 GFLOPs forward x3
+    default_batch=128,
+    primitive=Primitive.ALLREDUCE,
+    dataset="ImageNet",
+)
+
+GPT2 = ModelSpec(
+    name="GPT2",
+    tensor_bytes=475 * MB,
+    flops_per_sample=360e9,  # ~117M params, 512-token sequences, fwd+bwd
+    default_batch=16,
+    primitive=Primitive.ALLREDUCE,
+    dataset="persona-chat",
+)
+
+VIT = ModelSpec(
+    name="ViT",
+    tensor_bytes=208 * MB,
+    flops_per_sample=53e9,  # ViT-B 17.6 GFLOPs forward x3
+    default_batch=128,
+    primitive=Primitive.ALLREDUCE,
+    dataset="ImageNet",
+)
+
+MOE = ModelSpec(
+    name="MoE",
+    tensor_bytes=512 * MB,
+    flops_per_sample=24e9,  # one expert (two linear layers) per GPU
+    default_batch=128,
+    primitive=Primitive.ALLTOALL,
+    dataset="dummy",
+)
+
+#: The paper's four workloads, in its presentation order.
+PAPER_MODELS = (VGG16, GPT2, VIT, MOE)

@@ -1,0 +1,272 @@
+"""Tests for the strategy evaluator (paper eqs. 2-6), incl. hand-computed cases."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.hardware import Cluster, make_homo_cluster
+from repro.simulation import Simulator
+from repro.synthesis.evaluator import StrategyEvaluator
+from repro.synthesis.strategy import Flow, Primitive, Strategy, SubCollective
+from repro.topology import LogicalTopology
+from repro.topology.graph import gpu_node, nic_node
+
+
+@pytest.fixture
+def topo():
+    sim = Simulator()
+    cluster = Cluster(sim, make_homo_cluster(num_servers=2, gpus_per_server=2))
+    return LogicalTopology.from_cluster(cluster)
+
+
+def reduce_strategy(flows, aggregation, size=1000.0, chunk=100.0, root=gpu_node(0), participants=(0, 1, 2, 3)):
+    sc = SubCollective(
+        index=0, size=size, chunk_size=chunk, flows=flows, aggregation=aggregation, root=root
+    )
+    return Strategy(
+        primitive=Primitive.REDUCE,
+        tensor_size=size,
+        participants=list(participants),
+        subcollectives=[sc],
+    )
+
+
+class TestSingleFlow:
+    def test_one_hop_reduce_matches_alpha_beta(self, topo):
+        """T = t + ceil(S/C) * t with t = alpha + beta*C on a lone NVLink flow."""
+        evaluator = StrategyEvaluator(topo, include_kernel_time=False)
+        flow = Flow(gpu_node(1), gpu_node(0), [gpu_node(1), gpu_node(0)])
+        strategy = reduce_strategy([flow], {gpu_node(0): True}, size=1000.0, chunk=100.0)
+        ab = topo.edge(gpu_node(1), gpu_node(0)).effective
+        t = ab.alpha + ab.beta * 100.0
+        assert evaluator.objective(strategy) == pytest.approx(t + 10 * t)
+
+    def test_kernel_time_added_at_aggregator(self, topo):
+        flow = Flow(gpu_node(1), gpu_node(0), [gpu_node(1), gpu_node(0)])
+        strategy = reduce_strategy([flow], {gpu_node(0): True}, size=1000.0, chunk=100.0)
+        without = StrategyEvaluator(topo, include_kernel_time=False).objective(strategy)
+        with_kernel = StrategyEvaluator(topo, include_kernel_time=True).objective(strategy)
+        kernel = topo.cluster.gpu(0).spec.reduce_kernel_time(100.0)
+        ab = topo.edge(gpu_node(1), gpu_node(0)).effective
+        t = ab.alpha + ab.beta * 100.0
+        # Kernel appears once in h_dst and raises the per-chunk pace to
+        # max(transfer, kernel).
+        expected = without + kernel + 10 * (max(t, kernel) - t)
+        assert with_kernel == pytest.approx(expected)
+
+    def test_multi_hop_accumulates(self, topo):
+        evaluator = StrategyEvaluator(topo, include_kernel_time=False)
+        path = [gpu_node(2), nic_node(1), nic_node(0), gpu_node(0)]
+        flow = Flow(gpu_node(2), gpu_node(0), path)
+        strategy = reduce_strategy([flow], {gpu_node(0): True}, size=1000.0, chunk=1000.0)
+        expected = sum(
+            e.effective.alpha + e.effective.beta * 1000.0 for e in topo.path_edges(path)
+        )
+        bottleneck = max(
+            e.effective.alpha + e.effective.beta * 1000.0 for e in topo.path_edges(path)
+        )
+        assert evaluator.objective(strategy) == pytest.approx(expected + bottleneck)
+
+
+class TestLinkLoads:
+    def test_reduce_without_aggregation_sums_forwarded_flows(self, topo):
+        """g2 -> g3 -> (nic) -> g0 with no aggregation at g3: the network edge
+        carries g3's own flow plus the forwarded one."""
+        flows = [
+            Flow(
+                gpu_node(2),
+                gpu_node(0),
+                [gpu_node(2), gpu_node(3), nic_node(1), nic_node(0), gpu_node(0)],
+            ),
+            Flow(gpu_node(3), gpu_node(0), [gpu_node(3), nic_node(1), nic_node(0), gpu_node(0)]),
+        ]
+        strategy = reduce_strategy(flows, {gpu_node(0): True})
+        result = StrategyEvaluator(topo).evaluate(strategy)
+        assert result.edge_loads[(0, (nic_node(1), nic_node(0)))] == 2
+
+    def test_reduce_with_aggregation_merges_to_one(self, topo):
+        flows = [
+            Flow(
+                gpu_node(2),
+                gpu_node(0),
+                [gpu_node(2), gpu_node(3), nic_node(1), nic_node(0), gpu_node(0)],
+            ),
+            Flow(gpu_node(3), gpu_node(0), [gpu_node(3), nic_node(1), nic_node(0), gpu_node(0)]),
+        ]
+        strategy = reduce_strategy(flows, {gpu_node(0): True, gpu_node(3): True})
+        result = StrategyEvaluator(topo).evaluate(strategy)
+        assert result.edge_loads[(0, (nic_node(1), nic_node(0)))] == 1
+
+    def test_broadcast_replicas_group(self, topo):
+        flows = [
+            Flow(gpu_node(0), gpu_node(2), [gpu_node(0), nic_node(0), nic_node(1), gpu_node(2)]),
+            Flow(gpu_node(0), gpu_node(3), [gpu_node(0), nic_node(0), nic_node(1), gpu_node(3)]),
+        ]
+        sc = SubCollective(index=0, size=1000.0, chunk_size=1000.0, flows=flows, root=gpu_node(0))
+        strategy = Strategy(
+            primitive=Primitive.BROADCAST,
+            tensor_size=1000.0,
+            participants=[0, 2, 3],
+            subcollectives=[sc],
+        )
+        result = StrategyEvaluator(topo).evaluate(strategy)
+        assert result.edge_loads[(0, (nic_node(0), nic_node(1)))] == 1
+
+    def test_alltoall_flows_sum(self, topo):
+        # Two distinct flows across the same network edge count twice.
+        flows = [
+            Flow(gpu_node(0), gpu_node(2), [gpu_node(0), nic_node(0), nic_node(1), gpu_node(2)]),
+            Flow(gpu_node(1), gpu_node(3), [gpu_node(1), nic_node(0), nic_node(1), gpu_node(3)]),
+        ]
+        sc = SubCollective(index=0, size=250.0, chunk_size=250.0, flows=flows)
+        strategy = Strategy(
+            primitive=Primitive.ALLTOALL,
+            tensor_size=1000.0,
+            participants=[0, 1, 2, 3],
+            subcollectives=[sc],
+        )
+        result = StrategyEvaluator(topo).evaluate(strategy)
+        assert result.edge_loads[(0, (nic_node(0), nic_node(1)))] == 2
+
+    def test_contention_slows_completion(self, topo):
+        """Two raw flows on one link take about twice as long per chunk."""
+        evaluator = StrategyEvaluator(topo, include_kernel_time=False)
+        path2 = [gpu_node(2), nic_node(1), nic_node(0), gpu_node(0)]
+        path3 = [gpu_node(3), nic_node(1), nic_node(0), gpu_node(0)]
+        lone = reduce_strategy(
+            [Flow(gpu_node(2), gpu_node(0), path2)], {gpu_node(0): True}
+        )
+        contended = reduce_strategy(
+            [Flow(gpu_node(2), gpu_node(0), path2), Flow(gpu_node(3), gpu_node(0), path3)],
+            {gpu_node(0): True},
+        )
+        assert evaluator.objective(contended) > 1.5 * evaluator.objective(lone)
+
+    def test_loads_shared_across_subcollectives(self, topo):
+        """eq. 3 sums loads over all M sub-collectives."""
+        path = [gpu_node(2), nic_node(1), nic_node(0), gpu_node(0)]
+
+        def sc(index):
+            return SubCollective(
+                index=index,
+                size=500.0,
+                chunk_size=500.0,
+                flows=[Flow(gpu_node(2), gpu_node(0), list(path))],
+                aggregation={gpu_node(0): True},
+                root=gpu_node(0),
+            )
+
+        strategy = Strategy(
+            primitive=Primitive.REDUCE,
+            tensor_size=1000.0,
+            participants=[0, 2],
+            subcollectives=[sc(0), sc(1)],
+        )
+        result = StrategyEvaluator(topo).evaluate(strategy)
+        assert result.total_loads[(nic_node(1), nic_node(0))] == 2
+
+
+class TestAggregationTiming:
+    def test_aggregator_waits_for_slowest(self, topo):
+        """h at the root is the max over both children's arrivals."""
+        evaluator = StrategyEvaluator(topo, include_kernel_time=False)
+        fast = Flow(gpu_node(1), gpu_node(0), [gpu_node(1), gpu_node(0)])  # NVLink
+        slow = Flow(
+            gpu_node(2), gpu_node(0), [gpu_node(2), nic_node(1), nic_node(0), gpu_node(0)]
+        )
+        strategy = reduce_strategy([fast, slow], {gpu_node(0): True}, chunk=1000.0)
+        result = evaluator.evaluate(strategy)
+        # Both flows share the root's output time, so T is equal for both.
+        assert result.flow_times[(0, 0)] == pytest.approx(result.flow_times[(0, 1)])
+        slow_edges = topo.path_edges(slow.path)
+        slow_arrival = sum(e.effective.alpha + e.effective.beta * 1000.0 for e in slow_edges)
+        assert result.flow_times[(0, 0)] >= slow_arrival
+
+    def test_intermediate_aggregation_departs_after_merge(self, topo):
+        """A flow originating at an aggregating relay departs when the merge
+        is complete, so the network hop starts later."""
+        evaluator = StrategyEvaluator(topo, include_kernel_time=False)
+        flows = [
+            Flow(gpu_node(2), gpu_node(0), [gpu_node(2), gpu_node(3), nic_node(1), nic_node(0), gpu_node(0)]),
+            Flow(gpu_node(3), gpu_node(0), [gpu_node(3), nic_node(1), nic_node(0), gpu_node(0)]),
+        ]
+        merged = reduce_strategy(flows, {gpu_node(0): True, gpu_node(3): True}, chunk=1000.0)
+        result = evaluator.evaluate(merged)
+        nvlink = topo.edge(gpu_node(2), gpu_node(3)).effective
+        nvlink_time = nvlink.alpha + nvlink.beta * 1000.0
+        net_edges = topo.path_edges([gpu_node(3), nic_node(1), nic_node(0), gpu_node(0)])
+        net_time = sum(e.effective.alpha + e.effective.beta * 1000.0 for e in net_edges)
+        assert result.flow_times[(0, 1)] >= nvlink_time + net_time
+
+    def test_cyclic_aggregation_rejected(self, topo):
+        flows = [
+            # g1 aggregates before g3 on one flow, after it on the other.
+            Flow(gpu_node(0), gpu_node(3), [gpu_node(0), gpu_node(1), nic_node(0), nic_node(1), gpu_node(3)]),
+            Flow(gpu_node(2), gpu_node(1), [gpu_node(2), gpu_node(3), nic_node(1), nic_node(0), gpu_node(1)]),
+        ]
+        sc = SubCollective(
+            index=0,
+            size=100.0,
+            chunk_size=100.0,
+            flows=flows,
+            aggregation={gpu_node(1): True, gpu_node(3): True},
+        )
+        strategy = Strategy(
+            primitive=Primitive.REDUCE,
+            tensor_size=100.0,
+            participants=[0, 1, 2, 3],
+            subcollectives=[sc],
+        )
+        with pytest.raises(SynthesisError, match="cyclic"):
+            StrategyEvaluator(topo).evaluate(strategy)
+
+
+class TestChunking:
+    def test_tiny_chunks_pay_alpha_per_chunk(self, topo):
+        evaluator = StrategyEvaluator(topo, include_kernel_time=False)
+        path = [gpu_node(2), nic_node(1), nic_node(0), gpu_node(0)]
+
+        def with_chunk(chunk):
+            return evaluator.objective(
+                reduce_strategy(
+                    [Flow(gpu_node(2), gpu_node(0), path)],
+                    {gpu_node(0): True},
+                    size=1_000_000.0,
+                    chunk=chunk,
+                )
+            )
+
+        assert with_chunk(1000.0) > with_chunk(100_000.0)
+
+    def test_moderate_chunks_beat_store_and_forward(self, topo):
+        """On a multi-hop path, pipelining with mid-size chunks should beat
+        one monolithic chunk."""
+        evaluator = StrategyEvaluator(topo, include_kernel_time=False)
+        path = [gpu_node(2), nic_node(1), nic_node(0), gpu_node(0)]
+        size = 100_000_000.0
+
+        def with_chunk(chunk):
+            return evaluator.objective(
+                reduce_strategy(
+                    [Flow(gpu_node(2), gpu_node(0), path)],
+                    {gpu_node(0): True},
+                    size=size,
+                    chunk=chunk,
+                )
+            )
+
+        assert with_chunk(4_000_000.0) < with_chunk(size)
+
+    def test_monotone_in_beta(self, topo):
+        """Degrading a link's profiled bandwidth never speeds the strategy."""
+        from repro.network.cost_model import AlphaBeta
+
+        evaluator = StrategyEvaluator(topo, include_kernel_time=False)
+        path = [gpu_node(2), nic_node(1), nic_node(0), gpu_node(0)]
+        strategy = reduce_strategy(
+            [Flow(gpu_node(2), gpu_node(0), path)], {gpu_node(0): True}
+        )
+        before = evaluator.objective(strategy)
+        edge = topo.edge(nic_node(1), nic_node(0))
+        topo.set_estimate(nic_node(1), nic_node(0), AlphaBeta(edge.nominal.alpha, edge.nominal.beta * 4))
+        after = evaluator.objective(strategy)
+        assert after > before

@@ -1,0 +1,275 @@
+"""Unit and property tests for the fluid-flow network."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.simulation import FluidLink, FluidNetwork, Simulator
+
+
+def make_net():
+    sim = Simulator()
+    return sim, FluidNetwork(sim)
+
+
+def test_single_transfer_takes_size_over_capacity():
+    sim, net = make_net()
+    link = FluidLink("l", capacity=100.0)
+    done = net.transfer([link], size=1000.0)
+    sim.run_until_complete(done)
+    assert sim.now == pytest.approx(10.0)
+
+
+def test_latency_is_paid_before_streaming():
+    sim, net = make_net()
+    link = FluidLink("l", capacity=100.0, latency=2.0)
+    done = net.transfer([link], size=1000.0)
+    sim.run_until_complete(done)
+    assert sim.now == pytest.approx(12.0)
+
+
+def test_extra_latency_adds_to_path_latency():
+    sim, net = make_net()
+    link = FluidLink("l", capacity=100.0, latency=1.0)
+    done = net.transfer([link], size=100.0, extra_latency=3.0)
+    sim.run_until_complete(done)
+    assert sim.now == pytest.approx(5.0)
+
+
+def test_two_transfers_share_fairly():
+    sim, net = make_net()
+    link = FluidLink("l", capacity=100.0)
+    d1 = net.transfer([link], size=1000.0)
+    d2 = net.transfer([link], size=1000.0)
+    sim.run_until_complete(d1)
+    sim.run_until_complete(d2)
+    # Both stream at 50 B/s, so both finish at t=20.
+    assert sim.now == pytest.approx(20.0)
+
+
+def test_short_transfer_releases_bandwidth():
+    sim, net = make_net()
+    link = FluidLink("l", capacity=100.0)
+    d_long = net.transfer([link], size=1000.0)
+    d_short = net.transfer([link], size=100.0)
+    sim.run_until_complete(d_short)
+    assert sim.now == pytest.approx(2.0)  # 100 B at 50 B/s
+    sim.run_until_complete(d_long)
+    # Long transfer: 100 B in first 2 s, remaining 900 B at full 100 B/s.
+    assert sim.now == pytest.approx(11.0)
+
+
+def test_per_stream_cap_limits_single_flow():
+    sim, net = make_net()
+    link = FluidLink("l", capacity=100.0, per_stream_cap=20.0)
+    done = net.transfer([link], size=100.0)
+    sim.run_until_complete(done)
+    assert sim.now == pytest.approx(5.0)
+
+
+def test_per_stream_cap_allows_parallel_streams_to_saturate():
+    sim, net = make_net()
+    link = FluidLink("l", capacity=100.0, per_stream_cap=20.0)
+    events = [net.transfer([link], size=100.0) for _ in range(5)]
+    for e in events:
+        sim.run_until_complete(e)
+    # Five capped streams achieve 5*20 = 100 B/s aggregate.
+    assert sim.now == pytest.approx(5.0)
+
+
+def test_path_bottleneck_sets_rate():
+    sim, net = make_net()
+    fast = FluidLink("fast", capacity=1000.0)
+    slow = FluidLink("slow", capacity=10.0)
+    done = net.transfer([fast, slow], size=100.0)
+    sim.run_until_complete(done)
+    assert sim.now == pytest.approx(10.0)
+
+
+def test_path_latencies_accumulate():
+    sim, net = make_net()
+    a = FluidLink("a", capacity=100.0, latency=1.0)
+    b = FluidLink("b", capacity=100.0, latency=2.0)
+    done = net.transfer([a, b], size=100.0)
+    sim.run_until_complete(done)
+    assert sim.now == pytest.approx(4.0)
+
+
+def test_repeated_link_consumes_capacity_twice():
+    sim, net = make_net()
+    bus = FluidLink("bus", capacity=100.0)
+    done = net.transfer([bus, bus], size=100.0)
+    sim.run_until_complete(done)
+    # The flow crosses the bus twice, so its end-to-end rate is 50 B/s.
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_max_min_with_unequal_demands():
+    sim, net = make_net()
+    shared = FluidLink("shared", capacity=90.0)
+    private = FluidLink("private", capacity=30.0)
+    # Flow A is capped at 30 by its private link; flow B then gets 60.
+    d_a = net.transfer([shared, private], size=300.0)
+    d_b = net.transfer([shared], size=600.0)
+    sim.run_until_complete(d_a)
+    assert sim.now == pytest.approx(10.0)
+    sim.run_until_complete(d_b)
+    assert sim.now == pytest.approx(10.0)
+
+
+def test_zero_size_transfer_completes_after_latency():
+    sim, net = make_net()
+    link = FluidLink("l", capacity=100.0, latency=1.5)
+    done = net.transfer([link], size=0.0)
+    sim.run_until_complete(done)
+    assert sim.now == pytest.approx(1.5)
+
+
+def test_empty_path_transfer_is_pure_latency():
+    sim, net = make_net()
+    done = net.transfer([], size=12345.0, extra_latency=2.0)
+    sim.run_until_complete(done)
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_negative_size_rejected():
+    sim, net = make_net()
+    link = FluidLink("l", capacity=100.0)
+    with pytest.raises(SimulationError):
+        net.transfer([link], size=-1.0)
+
+
+def test_cancel_fails_event():
+    sim, net = make_net()
+    link = FluidLink("l", capacity=10.0)
+    done = net.transfer([link], size=1000.0)
+    cancelled = []
+
+    def canceller(sim):
+        yield sim.timeout(1.0)
+        net.cancel(net.active_transfers[0])
+
+    def waiter(sim):
+        try:
+            yield done
+        except SimulationError:
+            cancelled.append(sim.now)
+
+    sim.process(waiter(sim))
+    sim.process(canceller(sim))
+    sim.run()
+    assert cancelled == [1.0]
+
+
+def test_set_capacity_midway_changes_rate():
+    sim, net = make_net()
+    link = FluidLink("l", capacity=100.0)
+    done = net.transfer([link], size=1000.0)
+
+    def shaper(sim):
+        yield sim.timeout(5.0)  # 500 B moved so far
+        net.set_capacity(link, 50.0)
+
+    sim.process(shaper(sim))
+    sim.run_until_complete(done)
+    # Remaining 500 B at 50 B/s takes 10 more seconds.
+    assert sim.now == pytest.approx(15.0)
+
+
+def test_capacity_drop_to_zero_stalls_then_resumes():
+    sim, net = make_net()
+    link = FluidLink("l", capacity=100.0)
+    done = net.transfer([link], size=1000.0)
+
+    def shaper(sim):
+        yield sim.timeout(5.0)
+        net.set_capacity(link, 0.0)
+        yield sim.timeout(10.0)
+        net.set_capacity(link, 100.0)
+
+    sim.process(shaper(sim))
+    sim.run_until_complete(done)
+    assert sim.now == pytest.approx(20.0)
+
+
+def test_bytes_carried_accounting():
+    sim, net = make_net()
+    link = FluidLink("l", capacity=100.0)
+    done = net.transfer([link], size=1000.0)
+    sim.run_until_complete(done)
+    assert link.bytes_carried == pytest.approx(1000.0)
+
+
+def test_link_load_reports_aggregate_rate():
+    sim, net = make_net()
+    link = FluidLink("l", capacity=100.0)
+    net.transfer([link], size=1000.0)
+    net.transfer([link], size=1000.0)
+    sim.run(until=1.0)
+    assert net.link_load(link) == pytest.approx(100.0)
+
+
+def test_transfer_records_start_and_finish():
+    sim, net = make_net()
+    link = FluidLink("l", capacity=100.0, latency=1.0)
+    done = net.transfer([link], size=100.0)
+    t = sim.run_until_complete(done)
+    assert t.start_time == pytest.approx(1.0)
+    assert t.finish_time == pytest.approx(2.0)
+
+
+# -- property-based invariants ------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sizes=st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=1, max_size=6),
+    capacity=st.floats(min_value=1.0, max_value=1e5),
+)
+def test_shared_link_conserves_bytes_and_time(sizes, capacity):
+    """Total completion time on one shared link is at least sum(sizes)/capacity,
+    and all bytes are delivered exactly."""
+    sim, net = make_net()
+    link = FluidLink("l", capacity=capacity)
+    events = [net.transfer([link], size=s) for s in sizes]
+    for e in events:
+        sim.run_until_complete(e)
+    assert sim.now >= sum(sizes) / capacity - 1e-6
+    assert link.bytes_carried == pytest.approx(sum(sizes), rel=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=8),
+    capacity=st.floats(min_value=10.0, max_value=1e4),
+)
+def test_equal_flows_finish_together(n, capacity):
+    """n identical flows on one link are served max-min fairly: all finish at
+    n*size/capacity simultaneously."""
+    sim, net = make_net()
+    link = FluidLink("l", capacity=capacity)
+    size = 1000.0
+    events = [net.transfer([link], size=size) for _ in range(n)]
+    finish = [sim.run_until_complete(e).finish_time for e in events]
+    expected = n * size / capacity
+    for f in finish:
+        assert f == pytest.approx(expected, rel=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    caps=st.lists(st.floats(min_value=1.0, max_value=100.0), min_size=2, max_size=5),
+)
+def test_rates_respect_link_capacity(caps):
+    """At any observation instant, aggregate rate on each link is within
+    capacity."""
+    sim, net = make_net()
+    links = [FluidLink(f"l{i}", capacity=c) for i, c in enumerate(caps)]
+    for i in range(len(links)):
+        net.transfer(links[i : i + 2], size=1e5)
+    sim.run(until=1.0)
+    for link in links:
+        assert net.link_load(link) <= link.capacity * (1 + 1e-9)

@@ -1,0 +1,310 @@
+"""Tests for adaptive relay control: ski-rental, behaviour tuples,
+coordinator two-phase execution, and fault recovery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CoordinationError
+from repro.hardware import Cluster, MB, make_hetero_cluster, make_homo_cluster
+from repro.relay import (
+    AdaptiveAllReduce,
+    BehaviorTuple,
+    BreakEvenPolicy,
+    Coordinator,
+    FaultDetector,
+    behavior_tuples,
+    estimate_collective_seconds,
+)
+from repro.relay.ski_rental import aggregate_bandwidth, collective_volume
+from repro.simulation import Simulator
+from repro.synthesis import Primitive, Synthesizer
+from repro.synthesis.strategy import Flow, SubCollective
+from repro.topology import LogicalTopology
+from repro.topology.graph import gpu_node, nic_node
+
+
+def make_env(specs=None):
+    sim = Simulator()
+    cluster = Cluster(sim, specs or make_homo_cluster(num_servers=2))
+    topo = LogicalTopology.from_cluster(cluster)
+    return topo, Synthesizer(topo)
+
+
+def make_inputs(ranks, length, seed=0):
+    rng = np.random.default_rng(seed)
+    return {r: rng.integers(0, 50, length).astype(np.float64) for r in ranks}
+
+
+class TestSkiRental:
+    def test_break_even_rule(self):
+        policy = BreakEvenPolicy()
+        assert not policy.should_proceed(0.004, 0.010)
+        assert policy.should_proceed(0.010, 0.010)
+        assert policy.should_proceed(0.020, 0.010)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(CoordinationError):
+            BreakEvenPolicy().should_proceed(-1, 1)
+
+    def test_bad_cycle_rejected(self):
+        with pytest.raises(CoordinationError):
+            BreakEvenPolicy(cycle_seconds=0)
+
+    def test_collective_volume_rules(self):
+        assert collective_volume(Primitive.ALLREDUCE, 100.0, 8) == 1400.0  # 2(N-1)S
+        assert collective_volume(Primitive.ALLTOALL, 100.0, 8) == 800.0  # N*S
+        assert collective_volume(Primitive.BROADCAST, 100.0, 8) == 100.0  # S
+
+    def test_estimate_uses_graph_bandwidth(self):
+        topo, synth = make_env()
+        strategy = synth.synthesize(Primitive.ALLREDUCE, 8 * MB, range(8))
+        estimate = estimate_collective_seconds(
+            topo, strategy, Primitive.ALLREDUCE, 8 * MB, 8
+        )
+        assert 0 < estimate < 1.0
+        assert aggregate_bandwidth(topo, strategy) > 1e9
+
+    def test_single_worker_estimate_is_zero(self):
+        topo, synth = make_env()
+        strategy = synth.synthesize(Primitive.ALLREDUCE, 8 * MB, range(8))
+        assert estimate_collective_seconds(topo, strategy, Primitive.ALLREDUCE, 8 * MB, 1) == 0.0
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        delay=st.floats(min_value=0.0, max_value=100.0),
+        buy=st.floats(min_value=1e-6, max_value=100.0),
+    )
+    def test_property_two_competitive(self, delay, buy):
+        """The classical guarantee: online cost <= 2x offline optimum."""
+        policy = BreakEvenPolicy()
+        online = policy.online_cost(delay, buy)
+        optimum = policy.offline_optimum(delay, buy)
+        assert online <= 2 * optimum + 1e-12
+
+
+class TestBehaviorTuples:
+    def make_chain_sc(self):
+        """Fig. 7's shape: g3 -> g2 -> g1 -> g0 chain reduce to root g0
+        (all on one instance so hops are direct)."""
+        flows = [
+            Flow(gpu_node(3), gpu_node(0), [gpu_node(3), gpu_node(2), gpu_node(1), gpu_node(0)]),
+            Flow(gpu_node(2), gpu_node(0), [gpu_node(2), gpu_node(1), gpu_node(0)]),
+            Flow(gpu_node(1), gpu_node(0), [gpu_node(1), gpu_node(0)]),
+        ]
+        return SubCollective(
+            index=0,
+            size=100.0,
+            chunk_size=100.0,
+            flows=flows,
+            aggregation={gpu_node(0): True, gpu_node(1): True, gpu_node(2): True},
+            root=gpu_node(0),
+        )
+
+    def test_all_active_chain(self):
+        sc = self.make_chain_sc()
+        tuples = behavior_tuples(sc, Primitive.REDUCE, {0, 1, 2, 3})
+        assert tuples[3].as_tuple() == (True, False, False, True)  # leaf: send only
+        assert tuples[2].as_tuple() == (True, True, True, True)
+        assert tuples[1].as_tuple() == (True, True, True, True)
+        assert tuples[0].as_tuple() == (True, True, True, False)  # root: no send
+
+    def test_fig7_relay_gpu1(self):
+        """The paper's Fig. 7(b): GPU1 relays between GPU2/GPU3 and GPU0."""
+        sc = self.make_chain_sc()
+        tuples = behavior_tuples(sc, Primitive.REDUCE, {0, 2, 3})
+        # GPU1 is a relay with one active upstream branch (gpu2's subtree
+        # carries both active flows merged at gpu2): pass-through.
+        assert tuples[1].is_active is False
+        assert tuples[1].has_recv is True
+        assert tuples[1].has_kernel is False
+        assert tuples[1].has_send is True
+
+    def test_relay_with_two_active_branches_keeps_kernel(self):
+        flows = [
+            Flow(gpu_node(2), gpu_node(0), [gpu_node(2), gpu_node(1), gpu_node(0)]),
+            Flow(gpu_node(3), gpu_node(0), [gpu_node(3), gpu_node(1), gpu_node(0)]),
+        ]
+        sc = SubCollective(
+            index=0,
+            size=100.0,
+            chunk_size=100.0,
+            flows=flows,
+            aggregation={gpu_node(0): True, gpu_node(1): True},
+            root=gpu_node(0),
+        )
+        tuples = behavior_tuples(sc, Primitive.REDUCE, {0, 2, 3})
+        assert tuples[1].has_kernel is True  # two active branches to merge
+
+    def test_inactive_leaf_sends_nothing(self):
+        sc = self.make_chain_sc()
+        tuples = behavior_tuples(sc, Primitive.REDUCE, {0, 1, 2})
+        assert tuples[3].as_tuple() == (False, False, False, False)
+
+    def test_synthesizer_disabled_aggregation_respected(self):
+        sc = self.make_chain_sc()
+        sc.aggregation[gpu_node(1)] = False
+        tuples = behavior_tuples(sc, Primitive.REDUCE, {0, 1, 2, 3})
+        assert tuples[1].has_kernel is False
+
+    def test_broadcast_never_has_kernel(self):
+        flows = [
+            Flow(gpu_node(0), gpu_node(2), [gpu_node(0), gpu_node(1), gpu_node(2)]),
+        ]
+        sc = SubCollective(index=0, size=10.0, chunk_size=10.0, flows=flows, root=gpu_node(0))
+        tuples = behavior_tuples(sc, Primitive.BROADCAST, {0, 1, 2})
+        assert all(not t.has_kernel for t in tuples.values())
+
+    def test_source_with_no_recv_no_kernel(self):
+        """Condition (1): a rank whose predecessors are all inactive only
+        sends its local data."""
+        sc = self.make_chain_sc()
+        tuples = behavior_tuples(sc, Primitive.REDUCE, {0, 1})
+        assert tuples[1].has_recv is False
+        assert tuples[1].has_kernel is False
+        assert tuples[1].has_send is True
+
+
+class TestCoordinatorDecision:
+    def decide(self, ready, world=8, tensor=8 * MB):
+        topo, synth = make_env()
+        strategy = synth.synthesize(Primitive.ALLREDUCE, tensor, range(world))
+        return Coordinator(topo).decide(strategy, tensor, ready)
+
+    def test_waits_when_all_nearly_ready(self):
+        ready = {r: 0.001 for r in range(8)}
+        decision = self.decide(ready)
+        assert not decision.proceed
+        assert decision.relays == []
+
+    def test_proceeds_for_big_straggler(self):
+        ready = {r: 0.0 for r in range(7)}
+        ready[7] = 10.0  # ten-second straggler
+        decision = self.decide(ready)
+        assert decision.proceed
+        assert decision.relays == [7]
+        assert decision.active_ranks == list(range(7))
+        assert decision.trigger_time < 1.0
+
+    def test_never_ready_worker_forces_proceed(self):
+        ready = {r: 0.0 for r in range(7)}
+        ready[7] = None
+        decision = self.decide(ready)
+        assert decision.proceed
+        assert 7 in decision.relays
+
+    def test_all_crashed_rejected(self):
+        topo, synth = make_env()
+        strategy = synth.synthesize(Primitive.ALLREDUCE, MB, range(8))
+        with pytest.raises(CoordinationError):
+            Coordinator(topo).decide(strategy, MB, {r: None for r in range(8)})
+
+    def test_break_even_timing(self):
+        """Trigger happens roughly when waiting equals the buy estimate."""
+        topo, synth = make_env()
+        tensor = 8 * MB
+        strategy = synth.synthesize(Primitive.ALLREDUCE, tensor, range(8))
+        coordinator = Coordinator(topo)
+        ready = {r: 0.0 for r in range(7)}
+        ready[7] = 100.0
+        decision = coordinator.decide(strategy, tensor, ready)
+        assert decision.waited_seconds >= decision.buy_cost_seconds
+        cycle = coordinator.policy.cycle_seconds
+        assert decision.waited_seconds - decision.buy_cost_seconds <= cycle + 1e-9
+
+
+class TestAdaptiveAllReduce:
+    def run_adaptive(self, ready, specs=None, length=4096, seed=0):
+        topo, synth = make_env(specs)
+        ranks = list(range(topo.cluster.world_size))
+        inputs = make_inputs(ranks, length, seed=seed)
+        strategy = synth.synthesize(Primitive.ALLREDUCE, length * 8, ranks)
+        adaptive = AdaptiveAllReduce(topo)
+        result = adaptive.run(strategy, inputs, ready)
+        return ranks, inputs, result, adaptive
+
+    def test_wait_path_exact_sum(self):
+        ready = {r: 0.001 for r in range(8)}
+        ranks, inputs, result, _ = self.run_adaptive(ready)
+        expected = sum(inputs[r] for r in ranks)
+        for rank in ranks:
+            np.testing.assert_array_equal(result.outputs[rank], expected)
+        assert not result.decision.proceed
+
+    def test_two_phase_path_exact_sum(self):
+        """Phase 1 + phase 2 must be bit-identical to a full collective.
+
+        The straggler delay is chosen large enough to trigger phase 1 but
+        inside the T_fault window so the worker survives into phase 2.
+        """
+        ready = {r: 0.0 for r in range(8)}
+        ready[5] = 0.02
+        ranks, inputs, result, _ = self.run_adaptive(ready)
+        assert result.decision.proceed
+        assert result.decision.relays == [5]
+        expected = sum(inputs[r] for r in ranks)
+        for rank in ranks:
+            np.testing.assert_array_equal(result.outputs[rank], expected)
+        assert result.phase2_seconds > 0
+
+    def test_adaptive_faster_than_naive_wait_for_straggler(self):
+        """The headline: proceeding beats waiting when a straggler is long."""
+        straggle = 2.0
+        ready = {r: 0.0 for r in range(8)}
+        ready[7] = straggle
+
+        ranks, inputs, adaptive_result, _ = self.run_adaptive(ready, length=1 << 20)
+
+        # Naive: a full collective that waits for everyone.
+        topo, synth = make_env()
+        strategy = synth.synthesize(Primitive.ALLREDUCE, (1 << 20) * 8, ranks)
+        from repro.runtime import run_allreduce
+
+        naive = run_allreduce(topo, strategy, inputs, ready_times=ready)
+        assert naive.duration >= straggle
+        # Phase 1 result was available long before the straggler arrived;
+        # final completion still needs phase 2, but the total should not
+        # exceed naive by more than the phase-2 cost, and phase 1 finished
+        # much earlier.
+        assert adaptive_result.phase1_seconds < straggle
+
+    def test_fault_path_excludes_crashed_worker(self):
+        ready = {r: 0.0 for r in range(8)}
+        ready[3] = None  # crashed
+        ranks, inputs, result, _ = self.run_adaptive(ready)
+        assert result.fault_report is not None
+        assert result.fault_report.faulty_ranks == [3]
+        assert 3 not in result.outputs
+        expected = sum(inputs[r] for r in ranks if r != 3)
+        for rank in ranks:
+            if rank != 3:
+                np.testing.assert_array_equal(result.outputs[rank], expected)
+
+    def test_fault_threshold_is_five_x(self):
+        detector = FaultDetector()
+        assert detector.threshold(fastest_ready=1.0, phase1_end=3.0) == pytest.approx(10.0)
+
+    def test_all_stragglers_faulty_is_reported_not_fatal(self):
+        detector = FaultDetector()
+        report = detector.detect({0: None}, [0], 0.0, 1.0)
+        assert report.faulty_ranks == [0]
+        assert report.survivors == []
+
+    def test_relay_statistics_collected(self):
+        ready = {r: 0.0 for r in range(8)}
+        ready[6] = 0.9
+        _, _, result, adaptive = self.run_adaptive(ready)
+        probabilities = adaptive.relay_probabilities()
+        assert probabilities.get(6) == 1.0
+        assert len(adaptive.rpc_samples) == 1
+        assert adaptive.rpc_samples[0] > 0
+
+    def test_rpc_latency_distribution_matches_fig19d(self):
+        """90 % of RPC negotiations under 1.5 ms."""
+        from repro.relay.coordinator import default_rpc_latency
+
+        rng = np.random.default_rng(42)
+        samples = np.array([default_rpc_latency(rng) for _ in range(2000)])
+        assert np.quantile(samples, 0.9) < 1.5e-3
+        assert samples.min() > 0

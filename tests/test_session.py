@@ -1,0 +1,132 @@
+"""Tests for the top-level AdapCCSession API (the paper's Sec. VI-A usage)."""
+
+import numpy as np
+import pytest
+
+from repro import AdapCCSession, Primitive
+from repro.errors import ReproError
+from repro.hardware import make_hetero_cluster, make_homo_cluster
+
+
+def make_session(specs=None):
+    return AdapCCSession(specs or make_homo_cluster(num_servers=2)).init()
+
+
+def tensors_for(session, length=512, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        gpu.rank: rng.integers(0, 20, length).astype(np.float64)
+        for gpu in session.cluster.gpus
+    }
+
+
+class TestLifecycle:
+    def test_init_runs_detection_and_profiling(self):
+        session = make_session()
+        assert session.detection is not None
+        assert session.topology is not None
+        assert session.profiler.passes_completed == 1
+
+    def test_collective_before_init_rejected(self):
+        session = AdapCCSession(make_homo_cluster(num_servers=2))
+        with pytest.raises(ReproError):
+            session.allreduce({0: np.ones(4)})
+
+    def test_setup_creates_context_manager(self):
+        session = make_session()
+        session.setup()
+        assert session.contexts is not None
+
+    def test_profile_period_validation(self):
+        session = make_session()
+        with pytest.raises(ReproError):
+            session.profile(0)
+
+
+class TestCollectives:
+    def test_allreduce(self):
+        session = make_session()
+        tensors = tensors_for(session)
+        result = session.allreduce(tensors)
+        expected = sum(tensors.values())
+        for rank in tensors:
+            np.testing.assert_array_equal(result.outputs[rank], expected)
+
+    def test_allreduce_with_stragglers_uses_relay_control(self):
+        session = make_session()
+        tensors = tensors_for(session)
+        ready = {rank: 0.0 for rank in tensors}
+        ready[3] = 0.03
+        result = session.allreduce(tensors, ready_times=ready)
+        expected = sum(tensors.values())
+        for rank in tensors:
+            np.testing.assert_array_equal(result.outputs[rank], expected)
+        assert result.decision.proceed
+        assert result.decision.relays == [3]
+
+    def test_reduce_and_broadcast(self):
+        session = make_session()
+        tensors = tensors_for(session)
+        reduced = session.reduce(tensors, root=2)
+        np.testing.assert_array_equal(reduced.outputs[2], sum(tensors.values()))
+        broadcast = session.broadcast(tensors, root=1)
+        np.testing.assert_array_equal(broadcast.outputs[7], tensors[1])
+
+    def test_alltoall(self):
+        session = make_session()
+        tensors = tensors_for(session, length=8 * 16)
+        result = session.alltoall(tensors)
+        np.testing.assert_array_equal(result.outputs[1][:16], tensors[0][16:32])
+
+    def test_allgather_and_reduce_scatter(self):
+        session = make_session()
+        tensors = tensors_for(session, length=80)
+        gathered = session.allgather(tensors)
+        assert len(gathered.outputs[0]) == 80 * 8
+        scattered = session.reduce_scatter(tensors)
+        total = sum(tensors.values())
+        reconstructed = np.concatenate([scattered.outputs[r] for r in range(8)])
+        np.testing.assert_array_equal(reconstructed, total)
+
+    def test_strategies_cached_per_signature(self):
+        session = make_session()
+        tensors = tensors_for(session)
+        session.allreduce(tensors)
+        assert len(session._strategies) == 1
+        session.allreduce(tensors)
+        assert len(session._strategies) == 1
+        session.reduce(tensors)
+        assert len(session._strategies) == 2
+
+    def test_setup_costs_simulated_time_per_strategy(self):
+        session = make_session()
+        session.setup()
+        before = session.sim.now
+        session.allreduce(tensors_for(session))
+        assert session.sim.now > before  # contexts + transfer time elapsed
+
+
+class TestAdaptivity:
+    def test_periodic_profiling_triggers(self):
+        session = make_session()
+        session.profile(period=2)
+        tensors = tensors_for(session)
+        session.allreduce(tensors)
+        assert session.profiler.passes_completed == 1
+        session.allreduce(tensors)  # 2nd collective -> re-profile
+        assert session.profiler.passes_completed == 2
+
+    def test_reprofile_invalidates_strategies(self):
+        session = make_session()
+        tensors = tensors_for(session)
+        session.allreduce(tensors)
+        assert session._strategies
+        session.reprofile_now()
+        assert not session._strategies
+
+    def test_hetero_session_end_to_end(self):
+        session = make_session(make_hetero_cluster())
+        tensors = tensors_for(session, length=256)
+        result = session.allreduce(tensors)
+        expected = sum(tensors.values())
+        np.testing.assert_array_equal(result.outputs[15], expected)

@@ -1,0 +1,343 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import ProcessInterrupt, SimulationError
+from repro.simulation import Simulator, Store
+from repro.simulation.resources import Semaphore
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        yield sim.timeout(2.5)
+        seen.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert seen == [2.5]
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+    result = []
+
+    def proc(sim):
+        value = yield sim.timeout(1.0, value="payload")
+        result.append(value)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert result == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        return 42
+
+    def parent(sim, out):
+        value = yield sim.process(child(sim))
+        out.append(value)
+
+    out = []
+    sim.process(parent(sim, out))
+    sim.run()
+    assert out == [42]
+
+
+def test_processes_interleave_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, name, delay):
+        yield sim.timeout(delay)
+        order.append(name)
+
+    sim.process(proc(sim, "b", 2.0))
+    sim.process(proc(sim, "a", 1.0))
+    sim.process(proc(sim, "c", 3.0))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    gate = sim.event()
+    woke = []
+
+    def waiter(sim):
+        value = yield gate
+        woke.append((sim.now, value))
+
+    def opener(sim):
+        yield sim.timeout(5.0)
+        gate.succeed("open")
+
+    sim.process(waiter(sim))
+    sim.process(opener(sim))
+    sim.run()
+    assert woke == [(5.0, "open")]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    gate = sim.event()
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield gate
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter(sim))
+    gate.fail(ValueError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_surfaces_at_run():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    sim.process(bad(sim))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        sim.run()
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 123
+
+    sim.process(bad(sim))
+    with pytest.raises(SimulationError, match="expected an Event"):
+        sim.run()
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(10.0)
+
+    sim.process(proc(sim))
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_run_until_complete_returns_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(3.0)
+        return "done"
+
+    p = sim.process(proc(sim))
+    assert sim.run_until_complete(p) == "done"
+    assert sim.now == 3.0
+
+
+def test_run_until_complete_detects_deadlock():
+    sim = Simulator()
+    gate = sim.event()  # never triggered
+
+    def proc(sim):
+        yield gate
+
+    p = sim.process(proc(sim))
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_complete(p)
+
+
+def test_all_of_collects_values_in_order():
+    sim = Simulator()
+    out = []
+
+    def proc(sim):
+        values = yield sim.all_of([sim.timeout(3.0, "c"), sim.timeout(1.0, "a")])
+        out.append((sim.now, values))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert out == [(3.0, ["c", "a"])]
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+    out = []
+
+    def proc(sim):
+        index, value = yield sim.any_of([sim.timeout(3.0, "slow"), sim.timeout(1.0, "fast")])
+        out.append((sim.now, index, value))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert out == [(1.0, 1, "fast")]
+
+
+def test_interrupt_raises_in_target():
+    sim = Simulator()
+    caught = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except ProcessInterrupt as exc:
+            caught.append((sim.now, exc.cause))
+
+    def interrupter(sim, target):
+        yield sim.timeout(2.0)
+        target.interrupt("wake up")
+
+    target = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, target))
+    sim.run()
+    assert caught == [(2.0, "wake up")]
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+class TestStore:
+    def test_fifo_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def producer(sim):
+            for i in range(3):
+                yield store.put(i)
+                yield sim.timeout(1.0)
+
+        def consumer(sim):
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        sim.process(producer(sim))
+        sim.process(consumer(sim))
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(sim):
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def producer(sim):
+            yield sim.timeout(7.0)
+            yield store.put("x")
+
+        sim.process(consumer(sim))
+        sim.process(producer(sim))
+        sim.run()
+        assert got == [(7.0, "x")]
+
+    def test_capacity_blocks_putter(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        times = []
+
+        def producer(sim):
+            yield store.put("a")
+            times.append(("a-stored", sim.now))
+            yield store.put("b")
+            times.append(("b-stored", sim.now))
+
+        def consumer(sim):
+            yield sim.timeout(5.0)
+            yield store.get()
+
+        sim.process(producer(sim))
+        sim.process(consumer(sim))
+        sim.run()
+        assert times == [("a-stored", 0.0), ("b-stored", 5.0)]
+
+    def test_try_get_nonblocking(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert store.try_get() is None
+        store.put("x")
+        sim.run()
+        assert store.try_get() == "x"
+
+    def test_zero_capacity_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Store(sim, capacity=0)
+
+
+class TestSemaphore:
+    def test_mutual_exclusion(self):
+        sim = Simulator()
+        sem = Semaphore(sim, slots=1)
+        timeline = []
+
+        def worker(sim, name):
+            yield sem.acquire()
+            timeline.append((name, "in", sim.now))
+            yield sim.timeout(2.0)
+            timeline.append((name, "out", sim.now))
+            sem.release()
+
+        sim.process(worker(sim, "w1"))
+        sim.process(worker(sim, "w2"))
+        sim.run()
+        assert timeline == [
+            ("w1", "in", 0.0),
+            ("w1", "out", 2.0),
+            ("w2", "in", 2.0),
+            ("w2", "out", 4.0),
+        ]
+
+    def test_release_unheld_rejected(self):
+        sim = Simulator()
+        sem = Semaphore(sim)
+        with pytest.raises(SimulationError):
+            sem.release()
+
+    def test_available_counts(self):
+        sim = Simulator()
+        sem = Semaphore(sim, slots=3)
+        sem.acquire()
+        sem.acquire()
+        assert sem.available == 1

@@ -1,0 +1,180 @@
+"""Tests for the logical topology graph and the probe-based detector."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.hardware import Cluster, a100_server, make_hetero_cluster, make_homo_cluster
+from repro.hardware.presets import fragmented_server
+from repro.network.cost_model import AlphaBeta
+from repro.simulation import Simulator
+from repro.topology import Detector, LogicalTopology
+from repro.topology.graph import EdgeKind, NodeKind, gpu_node, nic_node
+
+
+def build(specs):
+    sim = Simulator()
+    cluster = Cluster(sim, specs)
+    return sim, cluster, LogicalTopology.from_cluster(cluster)
+
+
+class TestLogicalTopology:
+    def test_node_counts(self):
+        _, cluster, topo = build(make_homo_cluster(num_servers=2))
+        assert len(topo.gpu_nodes) == 8
+        assert len(topo.nic_nodes) == 2
+
+    def test_intra_instance_nvlink_edges(self):
+        _, _, topo = build(make_homo_cluster(num_servers=1))
+        edge = topo.edge(gpu_node(0), gpu_node(1))
+        assert edge.kind is EdgeKind.NVLINK
+
+    def test_pcie_edges_when_no_nvlink(self):
+        _, _, topo = build([fragmented_server()])
+        edge = topo.edge(gpu_node(0), gpu_node(1))
+        assert edge.kind is EdgeKind.PCIE
+
+    def test_network_edges_full_mesh(self):
+        _, _, topo = build(make_homo_cluster(num_servers=3))
+        for a in range(3):
+            for b in range(3):
+                if a != b:
+                    assert topo.edge(nic_node(a), nic_node(b)).kind is EdgeKind.NETWORK
+        assert not topo.has_edge(nic_node(0), nic_node(0))
+
+    def test_local_edges_connect_gpus_to_their_nic(self):
+        _, _, topo = build(make_homo_cluster(num_servers=2))
+        assert topo.edge(gpu_node(0), nic_node(0)).kind is EdgeKind.LOCAL
+        assert topo.edge(nic_node(0), gpu_node(0)).kind is EdgeKind.LOCAL
+        assert not topo.has_edge(gpu_node(0), nic_node(1))
+
+    def test_no_cross_instance_gpu_edges(self):
+        _, _, topo = build(make_homo_cluster(num_servers=2))
+        assert not topo.has_edge(gpu_node(0), gpu_node(4))
+
+    def test_nominal_matches_ground_truth_unshaped(self):
+        _, _, topo = build(make_homo_cluster(num_servers=2))
+        edge = topo.edge(nic_node(0), nic_node(1))
+        truth = edge.ground_truth()
+        assert edge.nominal.alpha == pytest.approx(truth.alpha)
+        assert edge.nominal.beta == pytest.approx(truth.beta)
+
+    def test_effective_prefers_estimate(self):
+        _, _, topo = build(make_homo_cluster(num_servers=2))
+        edge = topo.edge(nic_node(0), nic_node(1))
+        assert edge.effective is edge.nominal
+        est = AlphaBeta(1e-5, 1e-9)
+        topo.set_estimate(nic_node(0), nic_node(1), est)
+        assert edge.effective is est
+        topo.clear_estimates()
+        assert edge.effective is edge.nominal
+
+    def test_profiled_edges_are_nvlink_and_network(self):
+        _, _, topo = build(make_homo_cluster(num_servers=2))
+        kinds = {e.kind for e in topo.profiled_edges()}
+        assert kinds == {EdgeKind.NVLINK, EdgeKind.NETWORK}
+
+    def test_hetero_network_edge_bottleneck_is_slow_nic(self):
+        _, cluster, topo = build(make_hetero_cluster())
+        fast_to_slow = topo.edge(nic_node(0), nic_node(2))
+        # Bottleneck is the V100 server's 50 Gbps NIC (40 Gbps per stream).
+        assert fast_to_slow.nominal.bandwidth == pytest.approx(5e9)
+
+    def test_successors_and_predecessors(self):
+        _, _, topo = build(make_homo_cluster(num_servers=2))
+        succ = topo.successors(gpu_node(0))
+        assert gpu_node(1) in succ and nic_node(0) in succ
+        assert gpu_node(0) in topo.predecessors(gpu_node(1))
+
+    def test_path_edges_validates_adjacency(self):
+        _, _, topo = build(make_homo_cluster(num_servers=2))
+        path = [gpu_node(0), nic_node(0), nic_node(1), gpu_node(4)]
+        edges = topo.path_edges(path)
+        assert [e.kind for e in edges] == [EdgeKind.LOCAL, EdgeKind.NETWORK, EdgeKind.LOCAL]
+        with pytest.raises(TopologyError):
+            topo.path_edges([gpu_node(0), gpu_node(4)])
+
+    def test_to_networkx_attributes(self):
+        _, _, topo = build(make_homo_cluster(num_servers=2))
+        graph = topo.to_networkx()
+        assert graph.number_of_nodes() == 10
+        data = graph.get_edge_data(nic_node(0), nic_node(1))
+        # Single-stream achievable rate on the 100 Gbps RDMA pair.
+        assert data["bandwidth"] == pytest.approx(7.5e9)
+
+    def test_nvlink_override_rejected_when_absent(self):
+        sim = Simulator()
+        cluster = Cluster(sim, [fragmented_server()])
+        with pytest.raises(TopologyError):
+            LogicalTopology.from_cluster(cluster, nvlink_pairs={0: [(0, 1)]})
+
+
+class TestDetector:
+    def detect(self, specs):
+        sim = Simulator()
+        cluster = Cluster(sim, specs)
+        return cluster, Detector(cluster).detect()
+
+    def test_nic_numa_affinity_recovered(self):
+        cluster, report = self.detect(make_homo_cluster(num_servers=2))
+        for instance in cluster.instances:
+            truth = instance.primary_nic.numa_node
+            assert report.instances[instance.instance_id].nic_numa_node == truth
+
+    def test_nvlink_pairs_recovered_full_clique(self):
+        cluster, report = self.detect(make_homo_cluster(num_servers=1))
+        truth = cluster.instances[0].spec.resolved_nvlink_pairs()
+        assert report.instances[0].nvlink_pairs == truth
+
+    def test_nvlink_pairs_recovered_partial(self):
+        pairs = frozenset({(0, 1), (2, 3)})
+        cluster, report = self.detect([a100_server(nvlink_pairs=pairs)])
+        assert report.instances[0].nvlink_pairs == pairs
+
+    def test_no_nvlink_detected_on_fragmented_server(self):
+        _, report = self.detect([fragmented_server()])
+        assert report.instances[0].nvlink_pairs == frozenset()
+
+    def test_same_switch_pairs_recovered(self):
+        cluster, report = self.detect([fragmented_server()])
+        instance = cluster.instances[0]
+        truth = {
+            (a, b)
+            for a in range(4)
+            for b in range(a + 1, 4)
+            if instance.same_pcie_switch(a, b)
+        }
+        assert set(report.instances[0].same_switch_pairs) == truth
+
+    def test_nic_colocated_gpus_recovered(self):
+        cluster, report = self.detect([fragmented_server()])
+        instance = cluster.instances[0]
+        nic_switch = instance.primary_nic.pcie_switch
+        truth = {g.local_index for g in instance.gpus if g.pcie_switch == nic_switch}
+        assert set(report.instances[0].nic_colocated_gpus) == truth
+
+    def test_probe_time_recorded(self):
+        _, report = self.detect(make_homo_cluster(num_servers=1))
+        assert report.instances[0].probe_seconds > 0
+
+    def test_report_feeds_topology_builder(self):
+        sim = Simulator()
+        cluster = Cluster(sim, [a100_server(nvlink_pairs=frozenset({(0, 1)}))])
+        report = Detector(cluster).detect()
+        topo = LogicalTopology.from_cluster(
+            cluster, nvlink_pairs=report.nvlink_pairs_by_instance()
+        )
+        assert topo.edge(gpu_node(0), gpu_node(1)).kind is EdgeKind.NVLINK
+        assert topo.edge(gpu_node(0), gpu_node(2)).kind is EdgeKind.PCIE
+
+    def test_detection_concurrent_across_instances(self):
+        """Probe time for N instances should be ~the per-instance time, not N x."""
+        sim1 = Simulator()
+        c1 = Cluster(sim1, make_homo_cluster(num_servers=1))
+        Detector(c1).detect()
+        t1 = sim1.now
+
+        sim4 = Simulator()
+        c4 = Cluster(sim4, make_homo_cluster(num_servers=4))
+        Detector(c4).detect()
+        t4 = sim4.now
+        assert t4 < 1.5 * t1

@@ -1,0 +1,54 @@
+"""Tests for the strategy ASCII renderer."""
+
+import pytest
+
+from repro.bench.visualize import render_strategy, render_subcollective
+from repro.hardware import Cluster, MB, make_hetero_cluster
+from repro.simulation import Simulator
+from repro.synthesis import Primitive, Synthesizer
+from repro.topology import LogicalTopology
+
+
+@pytest.fixture(scope="module")
+def setup():
+    sim = Simulator()
+    cluster = Cluster(sim, make_hetero_cluster())
+    topo = LogicalTopology.from_cluster(cluster)
+    return topo, Synthesizer(topo)
+
+
+def test_render_allreduce_strategy(setup):
+    topo, synth = setup
+    strategy = synth.synthesize(Primitive.ALLREDUCE, 64 * MB, range(16))
+    text = render_strategy(strategy, topo)
+    assert "allreduce strategy" in text
+    assert "M=4" in text
+    for sc in strategy.subcollectives:
+        assert f"g{sc.root.index}[" in text
+    # Aggregating root is marked with '+'.
+    assert "[+]" in text
+    # Link-class annotations appear.
+    assert "~net~" in text or "-nvl-" in text
+
+
+def test_render_alltoall_lists_flows(setup):
+    topo, synth = setup
+    strategy = synth.synthesize(Primitive.ALLTOALL, 16 * MB, range(16))
+    text = render_strategy(strategy, topo)
+    assert "direct flows" in text
+    assert "more" in text  # 240 flows are elided past the first 8
+
+
+def test_render_without_topology(setup):
+    _, synth = setup
+    strategy = synth.synthesize(Primitive.REDUCE, 8 * MB, range(16), root=0)
+    text = render_strategy(strategy)  # labels omitted, no crash
+    assert "g0[+]" in text
+
+
+def test_every_participant_appears(setup):
+    topo, synth = setup
+    strategy = synth.synthesize(Primitive.REDUCE, 8 * MB, range(16), root=3)
+    text = render_subcollective(strategy.subcollectives[0], topo)
+    for rank in range(16):
+        assert f"g{rank}[" in text
