@@ -54,7 +54,8 @@ def test_fig11_reduce_algorithm_bandwidth(run_once):
     for baseline in BACKENDS[1:]:
         print(
             f"AdapCC speedup vs {baseline}: geomean {geometric_mean(speedups[baseline]):.2f}x "
-            f"(paper: {'1.17x' if baseline == 'nccl' else '1.19x' if baseline == 'msccl' else '1.46x'})"
+            f"(paper: "
+            f"{'1.17x' if baseline == 'nccl' else '1.19x' if baseline == 'msccl' else '1.46x'})"
         )
 
     # Shape checks: AdapCC at least matches every baseline per config, and

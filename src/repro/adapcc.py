@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.config import verification_enabled
 from repro.errors import ReproError
 from repro.hardware.cluster import Cluster
 from repro.hardware.instance import InstanceSpec
@@ -56,11 +57,18 @@ class AdapCCSession:
         instance_specs: Sequence[InstanceSpec],
         config: Optional[SynthesizerConfig] = None,
         seed: int = 0,
+        verify: Optional[bool] = None,
     ):
         self.sim = Simulator()
         self.cluster = Cluster(self.sim, instance_specs)
         self.config = config
         self.seed = seed
+        #: Tri-state static-verification override: ``None`` defers to
+        #: :func:`repro.analysis.verification_enabled` (on under pytest or
+        #: ``REPRO_VERIFY=1``), ``True``/``False`` force it. When enabled,
+        #: every synthesized strategy is checked by
+        #: :func:`repro.analysis.assert_valid` before first use.
+        self.verify = verify
         self.topology: Optional[LogicalTopology] = None
         self.detection: Optional[DetectionReport] = None
         self.profiler: Optional[Profiler] = None
@@ -204,6 +212,10 @@ class AdapCCSession:
             strategy = self.synthesizer.synthesize(
                 primitive, tensor_size, list(participants), root=root
             )
+            if verification_enabled(self.verify):
+                from repro.analysis.verify_strategy import assert_valid
+
+                assert_valid(strategy, self.topology)
             if self.contexts is not None:
                 planned = self.contexts.plan_contexts(strategy)
                 self.contexts.setup_all(planned)

@@ -1,0 +1,48 @@
+"""Static analysis passes: strategy verification, trace lint, source lint.
+
+Three passes guard the reproduction's correctness (see DESIGN.md §5 and
+``python -m repro.analysis``):
+
+* :func:`verify_strategy` / :func:`assert_valid` — static checks of a
+  synthesized :class:`~repro.synthesis.strategy.Strategy` against a
+  topology (flow conservation, root placement, aggregation, behaviour
+  tuples, deadlock freedom);
+* :func:`lint_trace` — physical-invariant checks over recorded fluid
+  network traces (capacity, max-min fairness, byte conservation);
+* :func:`lint_source` — AST determinism/convention lint over the source
+  tree.
+
+Only :mod:`repro.analysis.config` is imported eagerly: the runtime
+executor consults :func:`verification_enabled` at import time, and the
+verifier in turn imports the runtime — loading the heavy passes lazily
+(PEP 562) keeps that cycle open. The pass entry points share their
+module's name (``verify_strategy``, ``lint_trace``, ``lint_source``), so
+import those *functions* from their submodules —
+``from repro.analysis.verify_strategy import verify_strategy`` — while
+the collision-free helpers below are re-exported here lazily.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+from repro.analysis.config import ENV_VERIFY, verification_enabled
+
+_LAZY = {
+    "Violation": ("repro.analysis.verify_strategy", "Violation"),
+    "assert_valid": ("repro.analysis.verify_strategy", "assert_valid"),
+    "stage_unreachable": ("repro.analysis.verify_strategy", "stage_unreachable"),
+}
+
+__all__ = ["ENV_VERIFY", "verification_enabled", *sorted(_LAZY)]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value

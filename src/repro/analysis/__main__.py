@@ -1,0 +1,142 @@
+"""``python -m repro.analysis`` — run the static analysis passes.
+
+Three passes, all on by default (select a subset with flags):
+
+* ``--source``     AST determinism/convention lint over ``src/repro``;
+* ``--strategies`` plan every backend × primitive × benchmark topology and
+  statically verify the resulting strategies;
+* ``--traces``     run a recorded AllReduce and lint the fluid-network
+  trace for capacity/fairness/conservation invariants.
+
+Exits non-zero when any pass reports a violation, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.analysis.verify_strategy import Violation
+
+
+def _report(pass_name: str, violations: List[Violation]) -> bool:
+    if violations:
+        print(f"FAIL {pass_name}: {len(violations)} violation(s)")
+        for v in violations:
+            print(f"  {v}")
+        return False
+    print(f"ok   {pass_name}")
+    return True
+
+
+def run_source_pass() -> List[Violation]:
+    """Lint the repro source tree."""
+    from repro.analysis.lint_source import lint_source
+
+    return lint_source()
+
+
+def run_strategy_pass(tensor_bytes: float = 8 * 1024 * 1024) -> List[Violation]:
+    """Plan and statically verify strategies across backends and topologies.
+
+    Covers the Fig. 11–13 benchmark families: every registered backend on
+    single- and multi-server, homogeneous and mixed-SKU clusters, for each
+    primitive the backend supports (a backend declining a primitive with a
+    ``SynthesisError`` is skipped, not a violation).
+    """
+    from repro.analysis.verify_strategy import verify_strategy
+    from repro.baselines import available_backends  # noqa: F401 (registers backends)
+    from repro.bench.harness import BenchEnvironment
+    from repro.errors import SynthesisError
+    from repro.hardware.presets import make_config
+    from repro.synthesis.strategy import Primitive
+
+    configs = [
+        ("A100:(4,4)", make_config([4, 4])),
+        ("A100:(4,4) V100:(4,4)", make_config([4, 4], [4, 4])),
+        ("A100:(2,2) V100:(4,4)", make_config([2, 2], [4, 4])),
+    ]
+    primitives = [
+        Primitive.REDUCE,
+        Primitive.ALLREDUCE,
+        Primitive.BROADCAST,
+        Primitive.ALLTOALL,
+    ]
+    violations: List[Violation] = []
+    planned = skipped = 0
+    for label, specs in configs:
+        for backend_name in available_backends():
+            env = BenchEnvironment(specs, backend_name)
+            env.backend.verify = False  # this pass IS the verification
+            for primitive in primitives:
+                try:
+                    strategy = env.backend.plan(
+                        primitive, tensor_bytes, env.ranks
+                    )
+                except SynthesisError:
+                    skipped += 1
+                    continue
+                planned += 1
+                for v in verify_strategy(strategy, env.topology):
+                    violations.append(
+                        Violation(
+                            v.check,
+                            f"{backend_name}/{primitive.value}/{label}/{v.subject}",
+                            v.detail,
+                        )
+                    )
+    print(
+        f"     strategies: verified {planned} planned strategies "
+        f"({skipped} unsupported combinations skipped)"
+    )
+    return violations
+
+
+def run_trace_pass() -> List[Violation]:
+    """Execute one recorded AllReduce and lint the network trace."""
+    import numpy as np
+
+    from repro.analysis.lint_trace import lint_trace
+    from repro.bench.harness import BenchEnvironment
+    from repro.hardware.presets import make_config
+    from repro.simulation.records import TraceRecorder
+    from repro.synthesis.strategy import Primitive
+
+    env = BenchEnvironment(make_config([4, 4]), "adapcc")
+    env.backend.verify = False
+    recorder = TraceRecorder()
+    env.cluster.network.recorder = recorder
+    inputs = {rank: np.full(1024, float(rank + 1)) for rank in env.ranks}
+    strategy = env.backend.plan(Primitive.ALLREDUCE, 4 * 1024 * 1024, env.ranks)
+    env.backend.run(strategy, inputs, byte_scale=4 * 1024 * 1024 / (1024 * 8.0))
+    print(f"     traces: linted {len(recorder.records)} trace records")
+    return lint_trace(recorder.records)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis passes for the AdapCC reproduction.",
+    )
+    parser.add_argument("--source", action="store_true", help="run only the source lint")
+    parser.add_argument(
+        "--strategies", action="store_true", help="run only the strategy verifier"
+    )
+    parser.add_argument("--traces", action="store_true", help="run only the trace lint")
+    args = parser.parse_args(argv)
+    selected = [args.source, args.strategies, args.traces]
+    run_all = not any(selected)
+
+    ok = True
+    if run_all or args.source:
+        ok &= _report("source lint", run_source_pass())
+    if run_all or args.strategies:
+        ok &= _report("strategy verifier", run_strategy_pass())
+    if run_all or args.traces:
+        ok &= _report("trace lint", run_trace_pass())
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Switches controlling when static verification runs.
+
+Verification is cheap relative to simulation but not free, so production
+callers opt in (or set ``REPRO_VERIFY=1``) while test runs get it by
+default: under pytest every synthesized and planned strategy is verified
+unless explicitly disabled, which turns the whole suite into a property
+test of the synthesizer.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Environment variable overriding the default verification policy.
+ENV_VERIFY = "REPRO_VERIFY"
+
+_FALSEY = {"", "0", "false", "no", "off"}
+
+
+def verification_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve a ``verify=`` tri-state flag against environment defaults.
+
+    Precedence: an explicit ``True``/``False`` wins; otherwise the
+    ``REPRO_VERIFY`` environment variable decides; otherwise verification
+    is on exactly when running under pytest (detected via
+    ``PYTEST_CURRENT_TEST``, which pytest sets for the duration of each
+    test).
+    """
+    if explicit is not None:
+        return explicit
+    env = os.environ.get(ENV_VERIFY)
+    if env is not None:
+        return env.strip().lower() not in _FALSEY
+    return "PYTEST_CURRENT_TEST" in os.environ

@@ -1,0 +1,195 @@
+"""Determinism and convention lint over the ``repro`` source tree.
+
+AST-based checks enforcing repo conventions that keep the reproduction
+deterministic and its units unambiguous:
+
+* **no ambient randomness** — the stdlib ``random`` module and
+  ``numpy.random.seed`` global state are banned everywhere; randomness is
+  threaded through explicit ``numpy.random.Generator`` objects (seeded at
+  the session boundary), so any run is reproducible from its seed.
+* **no wall-clock reads in deterministic code** — ``time.time()`` and
+  friends inside ``simulation/``, ``runtime/`` or ``synthesis/`` would
+  leak host time into simulated results. ``time.perf_counter`` /
+  ``monotonic`` remain allowed: the synthesizer's solve-time bookkeeping
+  (Fig. 19c) measures real optimizer wall-clock by design.
+* **SI unit suffixes** — public parameters and module constants name their
+  unit in SI terms (``_seconds``, ``_bytes``, ``_bps``); abbreviated
+  suffixes (``_ms``, ``_gbps``, ``_mib``, …) are rejected because mixed
+  abbreviations caused exactly the silent 1000× bugs this repo's
+  conventions exist to prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.verify_strategy import Violation
+
+#: Sub-packages whose code runs under (or feeds) the simulator clock.
+DETERMINISTIC_DIRS = ("simulation", "runtime", "synthesis")
+
+#: ``time`` module attributes that read the host wall clock.
+_WALL_CLOCK_TIME = {"time", "time_ns", "localtime", "gmtime", "ctime", "asctime"}
+#: ``datetime``/``date`` constructors that read the host wall clock.
+_WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+
+#: Banned abbreviated unit suffixes -> the SI spelling to use instead.
+BANNED_SUFFIXES = {
+    "ms": "seconds",
+    "us": "seconds",
+    "ns": "seconds",
+    "msec": "seconds",
+    "msecs": "seconds",
+    "secs": "seconds",
+    "hrs": "seconds",
+    "hours": "seconds",
+    "gbps": "bps",
+    "mbps": "bps",
+    "kbps": "bps",
+    "kb": "bytes",
+    "mb": "bytes",
+    "gb": "bytes",
+    "kib": "bytes",
+    "mib": "bytes",
+    "gib": "bytes",
+}
+
+
+def _default_root() -> Path:
+    return Path(__file__).resolve().parents[1]
+
+
+def lint_source(
+    root: Optional[Path] = None, files: Optional[Sequence[Path]] = None
+) -> List[Violation]:
+    """Lint every ``*.py`` file under ``root`` (default: the repro package)."""
+    root = Path(root) if root is not None else _default_root()
+    targets = [Path(f) for f in files] if files is not None else sorted(root.rglob("*.py"))
+    violations: List[Violation] = []
+    for path in targets:
+        violations.extend(_lint_file(path, root))
+    return violations
+
+
+def _lint_file(path: Path, root: Path) -> List[Violation]:
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = path
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except SyntaxError as exc:
+        return [Violation("syntax", f"{rel}:{exc.lineno}", str(exc.msg))]
+    in_deterministic = bool(rel.parts) and rel.parts[0] in DETERMINISTIC_DIRS
+    checker = _Checker(str(rel), in_deterministic)
+    checker.visit(tree)
+    return checker.violations
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, rel: str, in_deterministic: bool):
+        self.rel = rel
+        self.in_deterministic = in_deterministic
+        self.violations: List[Violation] = []
+
+    def _add(self, check: str, node: ast.AST, detail: str) -> None:
+        self.violations.append(
+            Violation(check, f"{self.rel}:{getattr(node, 'lineno', 0)}", detail)
+        )
+
+    # -- ambient randomness ------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self._add(
+                    "ambient-random",
+                    node,
+                    "stdlib `random` is banned; thread a numpy Generator instead",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random" or (node.module or "").startswith("random."):
+            self._add(
+                "ambient-random",
+                node,
+                "stdlib `random` is banned; thread a numpy Generator instead",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            # numpy.random.seed(...) / np.random.seed(...): global RNG state.
+            if (
+                func.attr == "seed"
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "random"
+            ):
+                self._add(
+                    "ambient-random",
+                    node,
+                    "numpy.random.seed mutates global state; use np.random.default_rng",
+                )
+            if self.in_deterministic:
+                base = func.value
+                if isinstance(base, ast.Name):
+                    if base.id == "time" and func.attr in _WALL_CLOCK_TIME:
+                        self._add(
+                            "wall-clock",
+                            node,
+                            f"time.{func.attr}() reads the host clock inside "
+                            "deterministic code; use the simulator clock or perf_counter",
+                        )
+                    if base.id in ("datetime", "date") and func.attr in _WALL_CLOCK_DATETIME:
+                        self._add(
+                            "wall-clock",
+                            node,
+                            f"{base.id}.{func.attr}() reads the host clock inside "
+                            "deterministic code",
+                        )
+        self.generic_visit(node)
+
+    # -- unit suffixes ----------------------------------------------------------
+
+    def _check_name(self, name: str, node: ast.AST, what: str) -> None:
+        if name.startswith("_"):
+            return
+        suffix = name.rsplit("_", 1)[-1].lower() if "_" in name else None
+        if suffix in BANNED_SUFFIXES:
+            self._add(
+                "unit-suffix",
+                node,
+                f"{what} `{name}` uses abbreviated unit `_{suffix}`; "
+                f"spell it `_{BANNED_SUFFIXES[suffix]}`",
+            )
+
+    def _check_function(self, node) -> None:
+        if not node.name.startswith("_"):
+            args = node.args
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            ):
+                self._check_name(arg.arg, arg, f"parameter of {node.name}()")
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for stmt in node.body:
+            targets: List[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    self._check_name(target.id, target, "module constant")
+        self.generic_visit(node)

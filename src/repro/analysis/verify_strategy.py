@@ -1,0 +1,557 @@
+"""Static verification of synthesized strategies (DESIGN.md §5).
+
+A :class:`Strategy` is the contract between the synthesizer and the
+executor; this module checks the contract *before* any simulation runs, the
+way SCCL/PCCL validate synthesized schedules. Every check names the paper
+invariant it enforces:
+
+* **flow conservation (eq. 1)** — each flow is a contiguous src→dst walk
+  over existing topology edges, visiting only participant GPUs, and every
+  participant contributes to every sub-collective;
+* **partitioning** — sub-collective sizes S_m sum to the primitive's total
+  traffic and chunk tiling covers each partition (C_m > 0,
+  ⌈S_m/C_m⌉·C_m ≥ S_m);
+* **root placement** — reduce-family flows all terminate at the root, which
+  must aggregate (the executor gathers the ``("agg", root)`` unit there);
+  broadcast-family flows all originate at the root;
+* **aggregation (eq. 2–3)** — a_{m,g} flags sit on GPU nodes lying on a
+  flow path, form acyclic merge dependencies, and never increase any
+  edge's traffic-unit load beyond the unaggregated flow count;
+* **behaviour tuples (Sec. IV-C.3)** — the root never sends and a kernel
+  only runs where the synthesizer enabled aggregation; a relay with a
+  single active upstream branch never launches a kernel;
+* **deadlock freedom** — the chunk-level send/recv dependency graph the
+  executor would build (senders, aggregators, sources) reaches every
+  terminal slot from the sources; an unreachable terminal is a cycle the
+  runtime would only discover as an empty event queue.
+
+:func:`verify_strategy` returns structured :class:`Violation` records;
+:func:`assert_valid` raises :class:`StrategyVerificationError` (which is
+also a :class:`SynthesisError`) when any are found.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import CoordinationError, StrategyVerificationError
+from repro.relay.behavior import behavior_tuples
+from repro.synthesis.evaluator import edge_units
+from repro.synthesis.strategy import Primitive, Strategy, SubCollective
+from repro.topology.graph import LogicalTopology, NodeId, NodeKind, gpu_node
+
+#: Relative tolerance for floating-point size comparisons.
+_REL_TOL = 1e-6
+
+#: Pipeline modes, mirroring :mod:`repro.runtime.executor` (string-equal by
+#: contract; the executor's preflight check round-trips through here).
+MODE_MERGE = "merge"
+MODE_GROUPED = "grouped"
+MODE_INDEPENDENT = "independent"
+
+#: Primitives whose flows all terminate at the sub-collective root.
+_REDUCE_FAMILY = (Primitive.REDUCE, Primitive.ALLREDUCE, Primitive.REDUCE_SCATTER)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation found by a static analysis pass.
+
+    ``check`` is a stable kebab-case identifier of the violated invariant,
+    ``subject`` locates it (sub-collective / flow / node), ``detail``
+    explains it.
+    """
+
+    check: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.subject}: {self.detail}"
+
+
+def verify_strategy(strategy: Strategy, topology: LogicalTopology) -> List[Violation]:
+    """Run every static check; returns all violations found (empty = valid)."""
+    violations: List[Violation] = []
+    known_nodes = set(topology.nodes)
+    participants = list(strategy.participants)
+    pset = set(participants)
+
+    if len(pset) != len(participants):
+        violations.append(
+            Violation("participants", "strategy", "duplicate participant ranks")
+        )
+    for rank in pset:
+        if gpu_node(rank) not in known_nodes:
+            violations.append(
+                Violation(
+                    "participants", "strategy", f"rank {rank} is not in the topology"
+                )
+            )
+
+    total = sum(sc.size for sc in strategy.subcollectives)
+    expected = Strategy.expected_total_size(
+        strategy.primitive, strategy.tensor_size, len(pset)
+    )
+    if abs(total - expected) > _REL_TOL * max(1.0, abs(expected)):
+        violations.append(
+            Violation(
+                "partition-sum",
+                "strategy",
+                f"sub-collective sizes sum to {total}, expected {expected} "
+                f"for {strategy.primitive.value}",
+            )
+        )
+
+    indices = [sc.index for sc in strategy.subcollectives]
+    if len(set(indices)) != len(indices):
+        violations.append(
+            Violation("subcollective-index", "strategy", "duplicate sub-collective indices")
+        )
+
+    for sc in strategy.subcollectives:
+        violations.extend(
+            _verify_subcollective(strategy.primitive, sc, topology, known_nodes, pset)
+        )
+    return violations
+
+
+def assert_valid(strategy: Strategy, topology: LogicalTopology) -> None:
+    """Raise :class:`StrategyVerificationError` if the strategy is invalid."""
+    violations = verify_strategy(strategy, topology)
+    if violations:
+        head = "; ".join(str(v) for v in violations[:5])
+        more = f" (+{len(violations) - 5} more)" if len(violations) > 5 else ""
+        raise StrategyVerificationError(
+            f"strategy failed verification: {head}{more}", violations
+        )
+
+
+# -- per-sub-collective checks ---------------------------------------------------------
+
+
+def _verify_subcollective(
+    primitive: Primitive,
+    sc: SubCollective,
+    topology: LogicalTopology,
+    known_nodes: Set[NodeId],
+    pset: Set[int],
+) -> List[Violation]:
+    violations: List[Violation] = []
+    subject = f"sc{sc.index}"
+
+    violations.extend(_check_chunking(sc, subject))
+    violations.extend(_check_flows(primitive, sc, topology, known_nodes, pset, subject))
+    violations.extend(_check_root(primitive, sc, pset, subject))
+    violations.extend(_check_aggregation(primitive, sc, subject))
+    violations.extend(_check_behavior(primitive, sc, pset, subject))
+    violations.extend(_check_deadlock(primitive, sc, subject))
+    return violations
+
+
+def _check_chunking(sc: SubCollective, subject: str) -> List[Violation]:
+    violations: List[Violation] = []
+    if sc.size < 0:
+        violations.append(
+            Violation("partition-size", subject, f"negative partition size {sc.size}")
+        )
+    if sc.chunk_size <= 0:
+        violations.append(
+            Violation("chunk-size", subject, f"chunk size {sc.chunk_size} must be > 0")
+        )
+    elif sc.size > 0:
+        covered = sc.num_chunks * sc.chunk_size
+        if covered + _REL_TOL * sc.size < sc.size:
+            violations.append(
+                Violation(
+                    "chunk-coverage",
+                    subject,
+                    f"{sc.num_chunks} chunks of {sc.chunk_size} B cover {covered} B "
+                    f"of a {sc.size} B partition",
+                )
+            )
+    return violations
+
+
+def _check_flows(
+    primitive: Primitive,
+    sc: SubCollective,
+    topology: LogicalTopology,
+    known_nodes: Set[NodeId],
+    pset: Set[int],
+    subject: str,
+) -> List[Violation]:
+    violations: List[Violation] = []
+    # AllReduce replays the reduce flows reversed for the broadcast stage,
+    # so the reverse of every edge must exist too.
+    check_reverse = primitive is Primitive.ALLREDUCE
+    covered_ranks: Set[int] = set()
+    for flow_idx, flow in enumerate(sc.flows):
+        fsubject = f"{subject}.flow{flow_idx}"
+        path = flow.path
+        if len(path) < 2:
+            violations.append(Violation("path-length", fsubject, "path has < 2 nodes"))
+            continue
+        if path[0] != flow.src or path[-1] != flow.dst:
+            violations.append(
+                Violation(
+                    "path-endpoints",
+                    fsubject,
+                    f"path runs {path[0]}->{path[-1]}, flow declares {flow.src}->{flow.dst}",
+                )
+            )
+        for endpoint in (flow.src, flow.dst):
+            if endpoint.kind is not NodeKind.GPU:
+                violations.append(
+                    Violation(
+                        "endpoint-kind", fsubject, f"flow endpoint {endpoint} is not a GPU"
+                    )
+                )
+        gpus = [n for n in path if n.kind is NodeKind.GPU]
+        if len(set(gpus)) != len(gpus):
+            violations.append(Violation("gpu-revisit", fsubject, "path revisits a GPU"))
+        for node in gpus:
+            covered_ranks.add(node.index)
+            if node.index not in pset:
+                violations.append(
+                    Violation(
+                        "flow-conservation",
+                        fsubject,
+                        f"GPU {node} on the path is not a participant",
+                    )
+                )
+        for node in path:
+            if node not in known_nodes:
+                violations.append(
+                    Violation("unknown-node", fsubject, f"node {node} is not in the topology")
+                )
+        for a, b in zip(path, path[1:]):
+            if a == b:
+                violations.append(Violation("self-loop", fsubject, f"self-loop at {a}"))
+                continue
+            if not topology.has_edge(a, b):
+                violations.append(
+                    Violation(
+                        "path-contiguity", fsubject, f"no topology edge {a}->{b}"
+                    )
+                )
+            if check_reverse and not topology.has_edge(b, a):
+                violations.append(
+                    Violation(
+                        "path-contiguity",
+                        fsubject,
+                        f"no reverse edge {b}->{a} for the broadcast stage",
+                    )
+                )
+    if sc.flows:
+        missing = pset - covered_ranks
+        if missing:
+            violations.append(
+                Violation(
+                    "participant-coverage",
+                    subject,
+                    f"participants {sorted(missing)} appear on no flow path "
+                    "(their data would silently be dropped)",
+                )
+            )
+    return violations
+
+
+def _check_root(
+    primitive: Primitive, sc: SubCollective, pset: Set[int], subject: str
+) -> List[Violation]:
+    violations: List[Violation] = []
+    if primitive.has_root and sc.root is None:
+        violations.append(
+            Violation("root-missing", subject, f"{primitive.value} needs a root")
+        )
+    if sc.root is None:
+        return violations
+    if sc.root.kind is not NodeKind.GPU:
+        violations.append(Violation("root-kind", subject, f"root {sc.root} is not a GPU"))
+        return violations
+    if sc.root.index not in pset:
+        violations.append(
+            Violation("root-participant", subject, f"root {sc.root} is not a participant")
+        )
+    if not sc.flows:
+        return violations
+    if primitive in _REDUCE_FAMILY:
+        for flow_idx, flow in enumerate(sc.flows):
+            if flow.dst != sc.root:
+                violations.append(
+                    Violation(
+                        "root-placement",
+                        f"{subject}.flow{flow_idx}",
+                        f"reduce flow terminates at {flow.dst}, not the root {sc.root}",
+                    )
+                )
+        if not sc.aggregates_at(sc.root):
+            # The executor gathers the ("agg", root) unit at the root; a
+            # non-aggregating root never produces it.
+            violations.append(
+                Violation(
+                    "root-aggregation",
+                    subject,
+                    f"root {sc.root} does not aggregate, but the executor gathers "
+                    "the merged unit there",
+                )
+            )
+    elif primitive in (Primitive.BROADCAST, Primitive.ALLGATHER):
+        for flow_idx, flow in enumerate(sc.flows):
+            if flow.src != sc.root:
+                violations.append(
+                    Violation(
+                        "root-placement",
+                        f"{subject}.flow{flow_idx}",
+                        f"broadcast flow originates at {flow.src}, not the root {sc.root}",
+                    )
+                )
+    return violations
+
+
+def _check_aggregation(
+    primitive: Primitive, sc: SubCollective, subject: str
+) -> List[Violation]:
+    violations: List[Violation] = []
+    flagged = sorted(node for node, flag in sc.aggregation.items() if flag)
+    if flagged and not primitive.needs_aggregation:
+        violations.append(
+            Violation(
+                "aggregation-primitive",
+                subject,
+                f"{primitive.value} does not aggregate, but nodes "
+                f"{[str(n) for n in flagged]} are flagged",
+            )
+        )
+        return violations
+    path_nodes = {node for flow in sc.flows for node in flow.path}
+    for node in flagged:
+        if node.kind is not NodeKind.GPU:
+            violations.append(
+                Violation("aggregation-kind", subject, f"aggregation on non-GPU node {node}")
+            )
+        elif node not in path_nodes:
+            violations.append(
+                Violation(
+                    "aggregation-off-path",
+                    subject,
+                    f"aggregating node {node} lies on no flow path",
+                )
+            )
+    if not flagged or not sc.flows:
+        return violations
+
+    # Merge dependencies must be acyclic (eq. 2 resolves aggregation
+    # outputs in upstream-first order; the evaluator refuses cycles too).
+    deps: Dict[NodeId, Set[NodeId]] = defaultdict(set)
+    agg_nodes: Set[NodeId] = set()
+    for flow in sc.flows:
+        positions = [n for n in flow.path if sc.aggregates_at(n)]
+        for earlier, later in zip(positions, positions[1:]):
+            deps[later].add(earlier)
+        agg_nodes.update(positions)
+    resolved: Set[NodeId] = set()
+    pending = sorted(agg_nodes)
+    while pending:
+        remaining = [n for n in pending if not deps[n] <= resolved]
+        if len(remaining) == len(pending):
+            violations.append(
+                Violation(
+                    "aggregation-cycle",
+                    subject,
+                    f"cyclic merge dependencies among {[str(n) for n in remaining]}",
+                )
+            )
+            break
+        resolved.update(set(pending) - set(remaining))
+        pending = remaining
+
+    # Eq. 2–3 load invariant: merging can only reduce an edge's distinct
+    # traffic units below the unaggregated per-flow count, never add units.
+    try:
+        units = edge_units(primitive, sc)
+    except Exception as exc:  # the unit walk itself rejected the strategy
+        violations.append(Violation("aggregation-units", subject, str(exc)))
+        return violations
+    raw: Dict[Tuple[NodeId, NodeId], int] = defaultdict(int)
+    for flow in sc.flows:
+        for edge in set(flow.edges):
+            raw[edge] += 1
+    for edge, unit_set in units.items():
+        if len(unit_set) > raw[edge]:
+            violations.append(
+                Violation(
+                    "aggregation-load",
+                    subject,
+                    f"edge {edge[0]}->{edge[1]} carries {len(unit_set)} units but only "
+                    f"{raw[edge]} flows cross it — aggregation increased load",
+                )
+            )
+    return violations
+
+
+def _check_behavior(
+    primitive: Primitive, sc: SubCollective, pset: Set[int], subject: str
+) -> List[Violation]:
+    if not primitive.needs_aggregation or not sc.flows:
+        return []
+    violations: List[Violation] = []
+    try:
+        tuples = behavior_tuples(sc, primitive, pset)
+    except CoordinationError as exc:
+        return [Violation("behavior-cycle", subject, str(exc))]
+
+    root_rank = sc.root.index if sc.root is not None else None
+    if root_rank is not None:
+        root_tuple = tuples.get(root_rank)
+        if root_tuple is not None and root_tuple.has_send:
+            violations.append(
+                Violation(
+                    "root-sends",
+                    subject,
+                    f"root rank {root_rank} has hasSend set — it appears as an "
+                    "interior hop of some flow",
+                )
+            )
+    for rank, bt in sorted(tuples.items()):
+        if bt.has_kernel and not sc.aggregates_at_rank(rank):
+            violations.append(
+                Violation(
+                    "behavior-kernel",
+                    subject,
+                    f"rank {rank} launches a kernel without an aggregation flag",
+                )
+            )
+
+    # Single-predecessor relay rule (Fig. 7 condition 2): with any single-
+    # child rank demoted to relay, its pass-through must stay kernel-free.
+    children_of: Dict[int, Set[int]] = defaultdict(set)
+    for flow in sc.flows:
+        gpus = [n.index for n in flow.path if n.kind is NodeKind.GPU]
+        for child, parent in zip(gpus, gpus[1:]):
+            children_of[parent].add(child)
+    for rank in sorted(tuples):
+        if rank == root_rank or len(children_of.get(rank, ())) != 1:
+            continue
+        try:
+            relayed = behavior_tuples(sc, primitive, pset - {rank})
+        except CoordinationError:
+            continue  # the cycle is already reported above
+        relay_tuple = relayed.get(rank)
+        if relay_tuple is not None and relay_tuple.has_kernel:
+            violations.append(
+                Violation(
+                    "relay-kernel",
+                    subject,
+                    f"rank {rank} as a single-branch relay would still launch a kernel",
+                )
+            )
+    return violations
+
+
+# -- deadlock analysis -----------------------------------------------------------------
+
+
+def stage_unreachable(
+    flow_paths: Sequence[Tuple[int, Sequence[NodeId]]],
+    mode: str,
+    aggregates_at: Optional[Callable[[NodeId], bool]] = None,
+) -> List[Tuple[Tuple, NodeId]]:
+    """Terminal (unit, node) slots the executor's event graph cannot reach.
+
+    This replays :meth:`repro.runtime.executor.ChunkPipeline.start` as a
+    worklist fixpoint: sources seed availability, a sender propagates a
+    unit across its edge once available at the tail, an aggregator fires
+    once every incoming unit has arrived (local contributions never gate).
+    Availability is monotone and identical across chunk indices, so
+    single-slot reachability decides deadlock freedom for the whole
+    pipeline. An empty return means every flow's terminal slot is
+    reachable; anything else is a dependency cycle the runtime would hit
+    as a deadlock.
+    """
+    merge = mode == MODE_MERGE
+    agg = aggregates_at if (merge and aggregates_at is not None) else (lambda node: False)
+
+    def unit_at(flow_idx: int, path: Sequence[NodeId], path_idx: int) -> Tuple:
+        if mode == MODE_GROUPED:
+            return ("bcast", path[0])
+        if mode == MODE_INDEPENDENT:
+            return ("flow", flow_idx)
+        unit: Tuple = ("flow", flow_idx)
+        for idx in range(path_idx + 1):
+            if agg(path[idx]):
+                unit = ("agg", path[idx])
+        return unit
+
+    senders: Set[Tuple[NodeId, NodeId, Tuple]] = set()
+    agg_inputs: Dict[NodeId, Set[Tuple]] = {}
+    available: Set[Tuple[Tuple, NodeId]] = set()
+    terminals: List[Tuple[Tuple, NodeId]] = []
+    for flow_idx, path in flow_paths:
+        src = path[0]
+        if agg(src):
+            agg_inputs.setdefault(src, set())
+        else:
+            available.add((unit_at(flow_idx, path, 0), src))
+        for p in range(len(path) - 1):
+            i, j = path[p], path[p + 1]
+            unit = unit_at(flow_idx, path, p)
+            senders.add((i, j, unit))
+            if agg(j):
+                agg_inputs.setdefault(j, set()).add(unit)
+        terminals.append((unit_at(flow_idx, path, len(path) - 1), path[-1]))
+
+    changed = True
+    while changed:
+        changed = False
+        for i, j, unit in senders:
+            if (unit, i) in available and (unit, j) not in available:
+                available.add((unit, j))
+                changed = True
+        for node, units in agg_inputs.items():
+            key = (("agg", node), node)
+            if key not in available and all((u, node) in available for u in units):
+                available.add(key)
+                changed = True
+    return [t for t in terminals if t not in available]
+
+
+def _check_deadlock(
+    primitive: Primitive, sc: SubCollective, subject: str
+) -> List[Violation]:
+    if sc.size == 0 or not sc.flows:
+        return []
+    stages: List[Tuple[str, List[Tuple[int, Sequence[NodeId]]], str, Optional[Callable]]]
+    forward = [(idx, flow.path) for idx, flow in enumerate(sc.flows)]
+    if primitive in (Primitive.REDUCE, Primitive.REDUCE_SCATTER):
+        stages = [("reduce", forward, MODE_MERGE, sc.aggregates_at)]
+    elif primitive is Primitive.ALLREDUCE:
+        reversed_paths = [
+            (idx, list(reversed(flow.path))) for idx, flow in enumerate(sc.flows)
+        ]
+        stages = [
+            ("reduce", forward, MODE_MERGE, sc.aggregates_at),
+            ("broadcast", reversed_paths, MODE_GROUPED, None),
+        ]
+    elif primitive in (Primitive.BROADCAST, Primitive.ALLGATHER):
+        stages = [("broadcast", forward, MODE_GROUPED, None)]
+    else:  # ALLTOALL
+        stages = [("alltoall", forward, MODE_INDEPENDENT, None)]
+
+    violations: List[Violation] = []
+    for stage_name, flow_paths, mode, aggregates_at in stages:
+        unreachable = stage_unreachable(flow_paths, mode, aggregates_at)
+        if unreachable:
+            shown = ", ".join(f"{unit}@{node}" for unit, node in unreachable[:3])
+            more = f" (+{len(unreachable) - 3} more)" if len(unreachable) > 3 else ""
+            violations.append(
+                Violation(
+                    "deadlock",
+                    subject,
+                    f"{stage_name} stage cannot reach terminal slots {shown}{more}",
+                )
+            )
+    return violations

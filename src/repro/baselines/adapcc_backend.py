@@ -37,7 +37,7 @@ class AdapCCBackend(Backend):
         if profile_on_init:
             self.profiler.profile()
 
-    def plan(
+    def _plan(
         self,
         primitive: Primitive,
         tensor_size: float,

@@ -94,7 +94,7 @@ class BlinkBackend(Backend):
 
     # -- Backend interface --------------------------------------------------------------
 
-    def plan(
+    def _plan(
         self,
         primitive: Primitive,
         tensor_size: float,

@@ -13,6 +13,7 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from repro.analysis.config import verification_enabled
 from repro.errors import CommunicatorError
 from repro.runtime.collectives import (
     CollectiveResult,
@@ -35,9 +36,34 @@ class Backend(abc.ABC):
 
     def __init__(self, topology: LogicalTopology):
         self.topology = topology
+        #: Tri-state verification override for :meth:`plan`: ``None`` defers
+        #: to :func:`repro.analysis.verification_enabled` (on under pytest
+        #: or ``REPRO_VERIFY``), ``True``/``False`` force it.
+        self.verify: Optional[bool] = None
+
+    def plan(
+        self,
+        primitive: Primitive,
+        tensor_size: float,
+        participants: Iterable[int],
+        root: Optional[int] = None,
+    ) -> Strategy:
+        """Produce (and optionally statically verify) this backend's strategy.
+
+        Template method: backends implement :meth:`_plan`; the produced
+        strategy is run through :func:`repro.analysis.assert_valid` when
+        verification is enabled, so every baseline's output is held to the
+        same invariants as the synthesizer's.
+        """
+        strategy = self._plan(primitive, tensor_size, participants, root=root)
+        if verification_enabled(self.verify):
+            from repro.analysis.verify_strategy import assert_valid
+
+            assert_valid(strategy, self.topology)
+        return strategy
 
     @abc.abstractmethod
-    def plan(
+    def _plan(
         self,
         primitive: Primitive,
         tensor_size: float,
@@ -71,7 +97,9 @@ class Backend(abc.ABC):
                 max_chunks,
             )
         if primitive is Primitive.BROADCAST:
-            return run_broadcast(self.topology, strategy, inputs, ready_times, byte_scale, max_chunks)
+            return run_broadcast(
+                self.topology, strategy, inputs, ready_times, byte_scale, max_chunks
+            )
         if primitive is Primitive.ALLREDUCE:
             return run_allreduce(
                 self.topology,
@@ -84,14 +112,18 @@ class Backend(abc.ABC):
                 max_chunks=max_chunks,
             )
         if primitive is Primitive.ALLGATHER:
-            return run_allgather(self.topology, strategy, inputs, ready_times, byte_scale, max_chunks)
+            return run_allgather(
+                self.topology, strategy, inputs, ready_times, byte_scale, max_chunks
+            )
         if primitive is Primitive.REDUCE_SCATTER:
             return run_reduce_scatter(
                 self.topology, strategy, inputs, active_ranks, ready_times, byte_scale,
                 max_chunks,
             )
         if primitive is Primitive.ALLTOALL:
-            return run_alltoall(self.topology, strategy, inputs, ready_times, byte_scale, max_chunks)
+            return run_alltoall(
+                self.topology, strategy, inputs, ready_times, byte_scale, max_chunks
+            )
         raise CommunicatorError(f"unsupported primitive {primitive}")
 
     def pipelines_stages(self) -> bool:

@@ -83,7 +83,7 @@ class MscclBackend(Backend):
                 tree[leaders[a]] = leaders[b]
         return tree
 
-    def plan(
+    def _plan(
         self,
         primitive: Primitive,
         tensor_size: float,

@@ -219,7 +219,7 @@ class NcclBackend(Backend):
             outputs=outputs, started=started, finished=sim.now, ready_at=ready_at
         )
 
-    def plan(
+    def _plan(
         self,
         primitive: Primitive,
         tensor_size: float,

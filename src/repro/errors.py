@@ -44,6 +44,26 @@ class StrategyFormatError(SynthesisError):
     """A serialized strategy document could not be parsed."""
 
 
+class VerificationError(ReproError):
+    """A static analysis pass found invariant violations.
+
+    The ``violations`` attribute carries the structured findings (a list of
+    :class:`repro.analysis.verify_strategy.Violation`).
+    """
+
+    def __init__(self, message: str = "", violations: object = None):
+        super().__init__(message)
+        self.violations = list(violations or [])
+
+
+class StrategyVerificationError(VerificationError, SynthesisError):
+    """A synthesized strategy failed static verification.
+
+    Also a :class:`SynthesisError` so existing callers that treat a bad
+    strategy as a synthesis failure keep working unchanged.
+    """
+
+
 class CommunicatorError(ReproError):
     """Errors in the runtime communicator (contexts, buffers, executors)."""
 

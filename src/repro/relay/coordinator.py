@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.analysis.config import verification_enabled
 from repro.errors import CoordinationError
 from repro.relay.faults import FaultDetector, FaultReport
 from repro.relay.ski_rental import (
@@ -174,6 +175,12 @@ class AdaptiveAllReduce:
         self.fault_detector = fault_detector or FaultDetector()
         self.rpc_latency = rpc_latency
         self.rng = np.random.default_rng(seed)
+        #: Tri-state static-verification override (``None`` = defer to
+        #: :func:`repro.analysis.verification_enabled`). Each distinct
+        #: strategy object is verified once, on its first adaptive run —
+        #: the coordinator reuses one strategy across many iterations.
+        self.verify: Optional[bool] = None
+        self._verified: Dict[int, Strategy] = {}
         #: Per-iteration relay picks, for Fig. 15.
         self.relay_counts: Dict[int, int] = {}
         self.iterations_run = 0
@@ -191,6 +198,11 @@ class AdaptiveAllReduce:
         """Execute one collective adaptively; drives the simulator."""
         if strategy.primitive is not Primitive.ALLREDUCE:
             raise CoordinationError("adaptive execution currently targets AllReduce")
+        if id(strategy) not in self._verified and verification_enabled(self.verify):
+            from repro.analysis.verify_strategy import assert_valid
+
+            assert_valid(strategy, self.topology)
+            self._verified[id(strategy)] = strategy  # pin: keeps id() stable
         sim = self.topology.cluster.sim
         started = sim.now
         length = len(next(iter(inputs.values())))

@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.config import verification_enabled
 from repro.errors import CommunicatorError
 from repro.simulation.engine import Event, Simulator
 from repro.synthesis.strategy import Flow
@@ -135,6 +136,32 @@ class ChunkPipeline:
 
     # -- wiring ----------------------------------------------------------------------
 
+    def validate(self) -> None:
+        """Pre-execution deadlock check over the chunk dependency graph.
+
+        Runs the same fixpoint the event graph would resolve dynamically
+        (:func:`repro.analysis.stage_unreachable`): if any flow's terminal
+        chunk slot is unreachable — e.g. two aggregation points each
+        waiting on the other's output — the stage would stall forever, so
+        fail fast here instead of hanging the simulator.
+        """
+        if self.num_chunks == 0 or not self.flows:
+            return
+        from repro.analysis.verify_strategy import stage_unreachable
+
+        unreachable = stage_unreachable(
+            [(idx, flow.path) for idx, flow in self.flows],
+            self.mode,
+            self._aggregates_at,
+        )
+        if unreachable:
+            unique = list(dict.fromkeys(unreachable))
+            detail = ", ".join(f"{unit} at {node}" for unit, node in unique[:4])
+            raise CommunicatorError(
+                f"stage {self.tag!r} would deadlock: "
+                f"{len(unique)} terminal slot(s) unreachable ({detail})"
+            )
+
     def start(self) -> Event:
         """Spawn all processes; returns an event for full completion."""
         if self._started:
@@ -142,6 +169,8 @@ class ChunkPipeline:
         self._started = True
         if self.num_chunks == 0 or not self.flows:
             return self.sim.timeout(0.0)
+        if verification_enabled():
+            self.validate()
 
         senders: Dict[Tuple[NodeId, NodeId, UnitKey], None] = {}
         #: Incoming units per aggregating node.

@@ -112,6 +112,13 @@ class FluidNetwork:
         self._timer_generation = 0
         self._flush_scheduled = False
         self.completed_transfers = 0
+        #: Optional :class:`repro.simulation.records.TraceRecorder`; when
+        #: attached, the network emits ``net-flow-start``/``net-flow-end``/
+        #: ``net-flow-cancel`` events and a ``net-rates`` allocation
+        #: snapshot per recompute instant, which
+        #: :mod:`repro.analysis.lint_trace` checks for capacity and
+        #: fairness invariants.
+        self.recorder = None
 
     # -- public API ----------------------------------------------------------
 
@@ -160,6 +167,15 @@ class FluidNetwork:
             raise SimulationError("cancel() of a transfer that is not active")
         self._settle_progress()
         self._active.remove(transfer)
+        if self.recorder is not None:
+            self.recorder.record(
+                self.sim.now,
+                "net-flow-cancel",
+                f"flow{transfer.id}",
+                flow=transfer.id,
+                tag=transfer.tag,
+                remaining=transfer.remaining,
+            )
         transfer.event.fail(reason or SimulationError(f"transfer {transfer.id} cancelled"))
         self._recompute()
 
@@ -187,9 +203,27 @@ class FluidNetwork:
     def _activate(self, transfer: Transfer) -> None:
         self._settle_progress()
         transfer.start_time = self.sim.now
+        if self.recorder is not None:
+            self.recorder.record(
+                self.sim.now,
+                "net-flow-start",
+                f"flow{transfer.id}",
+                flow=transfer.id,
+                tag=transfer.tag,
+                size=transfer.size,
+            )
         if transfer.remaining <= _DONE_EPS:
             transfer.finish_time = self.sim.now
             self.completed_transfers += 1
+            if self.recorder is not None:
+                self.recorder.record(
+                    self.sim.now,
+                    "net-flow-end",
+                    f"flow{transfer.id}",
+                    flow=transfer.id,
+                    tag=transfer.tag,
+                    size=transfer.size,
+                )
             transfer.event.succeed(transfer)
             self._recompute()
             return
@@ -242,6 +276,7 @@ class FluidNetwork:
                 if t.rate > _EPS:
                     horizon = min(horizon, t.remaining / t.rate)
             if math.isinf(horizon):
+                self._record_snapshot()
                 return
             if self.sim.now + horizon > self.sim.now:
                 break
@@ -262,6 +297,30 @@ class FluidNetwork:
             self._recompute()
 
         self.sim.timeout(horizon).add_callback(_on_timer)
+        self._record_snapshot()
+
+    def _record_snapshot(self) -> None:
+        """Emit one ``net-rates`` allocation snapshot (recorder attached only)."""
+        if self.recorder is None:
+            return
+        links: Dict[int, FluidLink] = {}
+        flows = []
+        for t in self._active:
+            incidence = []
+            for link, mult in t.link_multiplicity.items():
+                links[link.id] = link
+                incidence.append((link.id, mult))
+            flows.append((t.id, t.tag, t.rate, t.remaining, tuple(sorted(incidence))))
+        self.recorder.record(
+            self.sim.now,
+            "net-rates",
+            "network",
+            flows=flows,
+            links=[
+                (link.id, link.name, link.capacity, link.per_stream_cap)
+                for _lid, link in sorted(links.items())
+            ],
+        )
 
     def _complete_finished(self) -> None:
         finished = [t for t in self._active if t.remaining <= _DONE_EPS]
@@ -271,6 +330,15 @@ class FluidNetwork:
             self._active.remove(t)
             t.finish_time = self.sim.now
             self.completed_transfers += 1
+            if self.recorder is not None:
+                self.recorder.record(
+                    self.sim.now,
+                    "net-flow-end",
+                    f"flow{t.id}",
+                    flow=t.id,
+                    tag=t.tag,
+                    size=t.size,
+                )
             t.event.succeed(t)
         self._assign_rates()
 

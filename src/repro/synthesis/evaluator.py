@@ -39,6 +39,38 @@ EdgeKey = Tuple[NodeId, NodeId]
 Unit = Tuple
 
 
+def edge_units(primitive: Primitive, sc: SubCollective) -> Dict[EdgeKey, set]:
+    """Distinct traffic units per edge for one sub-collective.
+
+    This is the paper's per-primitive load accounting (eq. 3's N^m_{i,j})
+    in unit form: a flow contributes an independent ``("flow", idx)`` unit
+    to every edge it crosses until it passes an aggregating node, after
+    which all flows merged there continue as the shared ``("agg", node)``
+    unit; broadcast replicas of the same shard group into one
+    ``("bcast", src)`` unit. Public so that
+    :mod:`repro.analysis.verify_strategy` checks the same algebra the
+    evaluator prices.
+    """
+    units: Dict[EdgeKey, set] = defaultdict(set)
+    for flow_idx, flow in enumerate(sc.flows):
+        if primitive is Primitive.BROADCAST or primitive is Primitive.ALLGATHER:
+            # Replicas of the same data group into one unit per source.
+            unit: Unit = ("bcast", flow.src)
+            for edge in flow.edges:
+                units[edge].add(unit)
+            continue
+        unit = ("flow", flow_idx)
+        if primitive.needs_aggregation and sc.aggregates_at(flow.path[0]):
+            # Data originating at an aggregating node leaves merged with
+            # the flows aggregated there — one shared unit, not two.
+            unit = ("agg", flow.path[0])
+        for i, j in flow.edges:
+            units[(i, j)].add(unit)
+            if primitive.needs_aggregation and sc.aggregates_at(j):
+                unit = ("agg", j)
+    return units
+
+
 class EvaluationResult:
     """Objective plus per-flow and per-edge detail for inspection."""
 
@@ -141,25 +173,8 @@ class StrategyEvaluator:
     def _edge_units(
         self, primitive: Primitive, sc: SubCollective
     ) -> Dict[EdgeKey, set]:
-        """Distinct traffic units per edge for one sub-collective."""
-        units: Dict[EdgeKey, set] = defaultdict(set)
-        for flow_idx, flow in enumerate(sc.flows):
-            if primitive is Primitive.BROADCAST or primitive is Primitive.ALLGATHER:
-                # Replicas of the same data group into one unit per source.
-                unit: Unit = ("bcast", flow.src)
-                for edge in flow.edges:
-                    units[edge].add(unit)
-                continue
-            unit: Unit = ("flow", flow_idx)
-            if primitive.needs_aggregation and sc.aggregates_at(flow.path[0]):
-                # Data originating at an aggregating node leaves merged with
-                # the flows aggregated there — one shared unit, not two.
-                unit = ("agg", flow.path[0])
-            for i, j in flow.edges:
-                units[(i, j)].add(unit)
-                if primitive.needs_aggregation and sc.aggregates_at(j):
-                    unit = ("agg", j)
-        return units
+        """Distinct traffic units per edge (delegates to :func:`edge_units`)."""
+        return edge_units(primitive, sc)
 
     # -- timing (eqs. 2, 5, 6) ------------------------------------------------------
 

@@ -115,7 +115,9 @@ def instance_network_bandwidth(topology: LogicalTopology, instance_id: int) -> f
 # -- tree families -----------------------------------------------------------------
 
 
-def _group_by_instance(topology: LogicalTopology, participants: Sequence[int]) -> Dict[int, List[int]]:
+def _group_by_instance(
+    topology: LogicalTopology, participants: Sequence[int]
+) -> Dict[int, List[int]]:
     groups: Dict[int, List[int]] = defaultdict(list)
     for rank in participants:
         groups[topology.cluster.gpu(rank).instance_id].append(rank)

@@ -133,7 +133,11 @@ class Edge:
             (min(link.capacity, link.per_stream_cap) for link in self.fluid_links),
             default=float("inf"),
         )
-        beta = 0.0 if capacity == float("inf") else (1.0 / capacity if capacity > 0 else float("inf"))
+        beta = (
+            0.0
+            if capacity == float("inf")
+            else (1.0 / capacity if capacity > 0 else float("inf"))
+        )
         return AlphaBeta(alpha=alpha, beta=beta)
 
 

@@ -65,7 +65,9 @@ class InterferenceModel:
             count = int(self._rng.integers(0, self.max_victims_per_server + 1))
             if count == 0:
                 continue
-            chosen = self._rng.choice(len(instance.gpus), size=min(count, len(instance.gpus)), replace=False)
+            chosen = self._rng.choice(
+                len(instance.gpus), size=min(count, len(instance.gpus)), replace=False
+            )
             for local_index in chosen:
                 self._current[instance.gpus[int(local_index)].rank] = self.slowdown_factor
 

@@ -208,16 +208,24 @@ class TestRelativePerformance:
         """Fig. 12's headline: AdapCC > NCCL on the heterogeneous testbed."""
         ranks = list(range(16))
         nbytes = 32 * MB
-        adapcc = self.algbw("adapcc", make_topo(make_hetero_cluster()), Primitive.ALLREDUCE, nbytes, ranks)
-        nccl = self.algbw("nccl", make_topo(make_hetero_cluster()), Primitive.ALLREDUCE, nbytes, ranks)
+        adapcc = self.algbw(
+            "adapcc", make_topo(make_hetero_cluster()), Primitive.ALLREDUCE, nbytes, ranks
+        )
+        nccl = self.algbw(
+            "nccl", make_topo(make_hetero_cluster()), Primitive.ALLREDUCE, nbytes, ranks
+        )
         assert adapcc > nccl
 
     def test_adapcc_beats_blink_multiserver(self):
         """Blink is the weakest multi-server baseline (geomean 1.49x)."""
         ranks = list(range(16))
         nbytes = 32 * MB
-        adapcc = self.algbw("adapcc", make_topo(make_hetero_cluster()), Primitive.ALLREDUCE, nbytes, ranks)
-        blink = self.algbw("blink", make_topo(make_hetero_cluster()), Primitive.ALLREDUCE, nbytes, ranks)
+        adapcc = self.algbw(
+            "adapcc", make_topo(make_hetero_cluster()), Primitive.ALLREDUCE, nbytes, ranks
+        )
+        blink = self.algbw(
+            "blink", make_topo(make_hetero_cluster()), Primitive.ALLREDUCE, nbytes, ranks
+        )
         assert adapcc > blink
 
     def test_tcp_gap_is_larger_than_rdma_gap(self):

@@ -18,7 +18,9 @@ def topo():
     return LogicalTopology.from_cluster(cluster)
 
 
-def reduce_strategy(flows, aggregation, size=1000.0, chunk=100.0, root=gpu_node(0), participants=(0, 1, 2, 3)):
+def reduce_strategy(
+    flows, aggregation, size=1000.0, chunk=100.0, root=gpu_node(0), participants=(0, 1, 2, 3)
+):
     sc = SubCollective(
         index=0, size=size, chunk_size=chunk, flows=flows, aggregation=aggregation, root=root
     )
@@ -186,7 +188,8 @@ class TestAggregationTiming:
         is complete, so the network hop starts later."""
         evaluator = StrategyEvaluator(topo, include_kernel_time=False)
         flows = [
-            Flow(gpu_node(2), gpu_node(0), [gpu_node(2), gpu_node(3), nic_node(1), nic_node(0), gpu_node(0)]),
+            Flow(gpu_node(2), gpu_node(0),
+                 [gpu_node(2), gpu_node(3), nic_node(1), nic_node(0), gpu_node(0)]),
             Flow(gpu_node(3), gpu_node(0), [gpu_node(3), nic_node(1), nic_node(0), gpu_node(0)]),
         ]
         merged = reduce_strategy(flows, {gpu_node(0): True, gpu_node(3): True}, chunk=1000.0)
@@ -200,8 +203,10 @@ class TestAggregationTiming:
     def test_cyclic_aggregation_rejected(self, topo):
         flows = [
             # g1 aggregates before g3 on one flow, after it on the other.
-            Flow(gpu_node(0), gpu_node(3), [gpu_node(0), gpu_node(1), nic_node(0), nic_node(1), gpu_node(3)]),
-            Flow(gpu_node(2), gpu_node(1), [gpu_node(2), gpu_node(3), nic_node(1), nic_node(0), gpu_node(1)]),
+            Flow(gpu_node(0), gpu_node(3),
+                 [gpu_node(0), gpu_node(1), nic_node(0), nic_node(1), gpu_node(3)]),
+            Flow(gpu_node(2), gpu_node(1),
+                 [gpu_node(2), gpu_node(3), nic_node(1), nic_node(0), gpu_node(1)]),
         ]
         sc = SubCollective(
             index=0,
@@ -267,6 +272,8 @@ class TestChunking:
         )
         before = evaluator.objective(strategy)
         edge = topo.edge(nic_node(1), nic_node(0))
-        topo.set_estimate(nic_node(1), nic_node(0), AlphaBeta(edge.nominal.alpha, edge.nominal.beta * 4))
+        topo.set_estimate(
+            nic_node(1), nic_node(0), AlphaBeta(edge.nominal.alpha, edge.nominal.beta * 4)
+        )
         after = evaluator.objective(strategy)
         assert after > before

@@ -125,8 +125,10 @@ class TestChunkPipelineModes:
         data once, not twice."""
         sim = topo.cluster.sim
         flows = [
-            (0, Flow(gpu_node(0), gpu_node(4), [gpu_node(0), nic_node(0), nic_node(1), gpu_node(4)])),
-            (1, Flow(gpu_node(0), gpu_node(5), [gpu_node(0), nic_node(0), nic_node(1), gpu_node(5)])),
+            (0, Flow(gpu_node(0), gpu_node(4),
+                     [gpu_node(0), nic_node(0), nic_node(1), gpu_node(4)])),
+            (1, Flow(gpu_node(0), gpu_node(5),
+                     [gpu_node(0), nic_node(0), nic_node(1), gpu_node(5)])),
         ]
         payload = np.ones(1000)
         payloads = {0: [payload], 1: [payload]}
@@ -149,8 +151,10 @@ class TestChunkPipelineModes:
     def test_independent_flows_carry_distinct_payloads(self, topo):
         sim = topo.cluster.sim
         flows = [
-            (0, Flow(gpu_node(0), gpu_node(4), [gpu_node(0), nic_node(0), nic_node(1), gpu_node(4)])),
-            (1, Flow(gpu_node(1), gpu_node(5), [gpu_node(1), nic_node(0), nic_node(1), gpu_node(5)])),
+            (0, Flow(gpu_node(0), gpu_node(4),
+                     [gpu_node(0), nic_node(0), nic_node(1), gpu_node(4)])),
+            (1, Flow(gpu_node(1), gpu_node(5),
+                     [gpu_node(1), nic_node(0), nic_node(1), gpu_node(5)])),
         ]
         payloads = {0: [np.array([1.0])], 1: [np.array([2.0])]}
         egress = topo.cluster.nic_egress(0)

@@ -78,7 +78,10 @@ class TestGpuSpec:
 
     def test_invalid_spec_rejected(self):
         with pytest.raises(TopologyError):
-            GpuSpec("bad", compute_flops=0, reduce_bandwidth=1, kernel_launch_overhead=0, memory_bytes=1)
+            GpuSpec(
+                "bad", compute_flops=0, reduce_bandwidth=1, kernel_launch_overhead=0,
+                memory_bytes=1,
+            )
 
 
 class TestInstanceSpec:

@@ -106,7 +106,9 @@ class TestRoutingProperties:
 
 class TestEvaluatorProperties:
     def synthesize(self, topo, m=2):
-        synth = Synthesizer(topo, SynthesizerConfig(parallelism=m, families=("hierarchical-tree",)))
+        synth = Synthesizer(
+            topo, SynthesizerConfig(parallelism=m, families=("hierarchical-tree",))
+        )
         return synth.synthesize(Primitive.ALLREDUCE, 8_000_000.0, range(16))
 
     @settings(max_examples=15, deadline=None)

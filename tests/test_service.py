@@ -101,7 +101,9 @@ class TestCollectiveService:
         tensors = make_tensors(ranks, 64)
         for rank in ranks:
             primitive = Primitive.ALLTOALL if rank == 0 else Primitive.ALLREDUCE
-            service.submit(rank, Primitive.ALLREDUCE if rank else Primitive.ALLTOALL, tensors[rank])
+            service.submit(
+                rank, Primitive.ALLREDUCE if rank else Primitive.ALLTOALL, tensors[rank]
+            )
         with pytest.raises(CommunicatorError):
             sim.run()
 

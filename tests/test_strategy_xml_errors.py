@@ -1,0 +1,164 @@
+"""Error paths of :func:`strategy_from_xml`.
+
+Every malformed document must fail with a *typed* exception
+(:class:`StrategyFormatError` or :class:`SynthesisError`, both
+:class:`ReproError` subclasses) — never a bare ``KeyError`` /
+``IndexError`` / ``ValueError`` leaking out of the parser.
+"""
+
+import pytest
+
+from repro.errors import ReproError, StrategyFormatError, SynthesisError
+from repro.synthesis.strategy import (
+    Flow,
+    Primitive,
+    Strategy,
+    SubCollective,
+    strategy_from_xml,
+    strategy_to_xml,
+)
+from repro.topology.graph import gpu_node, nic_node
+
+
+def valid_document() -> str:
+    sc = SubCollective(
+        index=0,
+        size=1000.0,
+        chunk_size=100.0,
+        flows=[
+            Flow(
+                src=gpu_node(0),
+                dst=gpu_node(4),
+                path=[gpu_node(0), nic_node(0), nic_node(1), gpu_node(4)],
+            )
+        ],
+        aggregation={gpu_node(4): True},
+        root=gpu_node(4),
+    )
+    strategy = Strategy(
+        primitive=Primitive.REDUCE,
+        tensor_size=1000.0,
+        participants=[0, 4],
+        subcollectives=[sc],
+    )
+    return strategy_to_xml(strategy)
+
+
+class TestMalformedXml:
+    def test_truncated_document(self):
+        with pytest.raises(StrategyFormatError, match="malformed"):
+            strategy_from_xml(valid_document()[:40])
+
+    def test_not_xml_at_all(self):
+        with pytest.raises(StrategyFormatError, match="malformed"):
+            strategy_from_xml("reduce: g0 -> g4")
+
+    def test_empty_document(self):
+        with pytest.raises(StrategyFormatError):
+            strategy_from_xml("")
+
+    def test_wrong_root_element(self):
+        with pytest.raises(StrategyFormatError, match="unexpected root"):
+            strategy_from_xml("<plan primitive='reduce'/>")
+
+
+class TestBadAttributes:
+    def test_unknown_primitive(self):
+        doc = valid_document().replace('primitive="reduce"', 'primitive="quickreduce"')
+        with pytest.raises(StrategyFormatError, match="unknown primitive"):
+            strategy_from_xml(doc)
+
+    def test_missing_primitive(self):
+        doc = valid_document().replace('primitive="reduce" ', "")
+        with pytest.raises(StrategyFormatError, match="unknown primitive"):
+            strategy_from_xml(doc)
+
+    def test_missing_tensor_size(self):
+        doc = valid_document().replace(' tensor_size="1000.0"', "")
+        with pytest.raises(StrategyFormatError, match="bad strategy attributes"):
+            strategy_from_xml(doc)
+
+    def test_non_numeric_tensor_size(self):
+        doc = valid_document().replace('tensor_size="1000.0"', 'tensor_size="big"')
+        with pytest.raises(StrategyFormatError, match="bad strategy attributes"):
+            strategy_from_xml(doc)
+
+    def test_missing_chunk_size(self):
+        doc = valid_document().replace(' chunk_size="100.0"', "")
+        with pytest.raises(StrategyFormatError, match="bad sub-collective attributes"):
+            strategy_from_xml(doc)
+
+    def test_non_numeric_chunk_size(self):
+        doc = valid_document().replace('chunk_size="100.0"', 'chunk_size="small"')
+        with pytest.raises(StrategyFormatError, match="bad sub-collective attributes"):
+            strategy_from_xml(doc)
+
+    def test_zero_chunk_size_rejected_by_model(self):
+        doc = valid_document().replace('chunk_size="100.0"', 'chunk_size="0.0"')
+        with pytest.raises(SynthesisError, match="chunk size"):
+            strategy_from_xml(doc)
+
+    def test_missing_subcollective_index(self):
+        doc = valid_document().replace('index="0" ', "")
+        with pytest.raises(StrategyFormatError, match="bad sub-collective attributes"):
+            strategy_from_xml(doc)
+
+
+class TestBadNodesAndFlows:
+    def test_garbage_node_id(self):
+        doc = valid_document().replace('root="g4"', 'root="x4"')
+        with pytest.raises(StrategyFormatError, match="bad node id"):
+            strategy_from_xml(doc)
+
+    def test_non_integer_node_id(self):
+        doc = valid_document().replace('root="g4"', 'root="gfour"')
+        with pytest.raises(StrategyFormatError, match="bad node id"):
+            strategy_from_xml(doc)
+
+    def test_missing_flow_src(self):
+        doc = valid_document().replace('src="g0" ', "")
+        with pytest.raises(StrategyFormatError, match="bad node id"):
+            strategy_from_xml(doc)
+
+    def test_empty_path(self):
+        doc = valid_document().replace('path="g0 n0 n1 g4"', 'path=""')
+        with pytest.raises(SynthesisError, match="path too short"):
+            strategy_from_xml(doc)
+
+    def test_non_contiguous_path_endpoints(self):
+        # Path that neither starts at src nor ends at dst: the flow model
+        # rejects it during construction with a typed error.
+        doc = valid_document().replace('path="g0 n0 n1 g4"', 'path="n0 n1"')
+        with pytest.raises(SynthesisError, match="endpoints"):
+            strategy_from_xml(doc)
+
+    def test_path_with_self_loop(self):
+        doc = valid_document().replace('path="g0 n0 n1 g4"', 'path="g0 n0 n0 n1 g4"')
+        with pytest.raises(SynthesisError, match="self-loop"):
+            strategy_from_xml(doc)
+
+    def test_gpu_revisit(self):
+        doc = valid_document().replace('path="g0 n0 n1 g4"', 'path="g0 g4 n0 n1 g4"')
+        with pytest.raises(SynthesisError, match="revisits"):
+            strategy_from_xml(doc)
+
+
+class TestModelLevelRejection:
+    def test_partition_sum_mismatch(self):
+        doc = valid_document().replace('index="0" size="1000.0"', 'index="0" size="1.0"')
+        with pytest.raises(SynthesisError, match="sum to"):
+            strategy_from_xml(doc)
+
+    def test_every_error_is_a_repro_error(self):
+        """All parser failure modes raise inside the ReproError hierarchy."""
+        documents = [
+            "<strategy",
+            "<plan/>",
+            valid_document().replace('primitive="reduce"', 'primitive="nope"'),
+            valid_document().replace(' chunk_size="100.0"', ""),
+            valid_document().replace('path="g0 n0 n1 g4"', 'path="n0 n1"'),
+            valid_document().replace('root="g4"', 'root="4g"'),
+        ]
+        for doc in documents:
+            with pytest.raises(ReproError):
+                strategy_from_xml(doc)
