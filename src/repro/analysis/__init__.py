@@ -1,6 +1,6 @@
-"""Static analysis passes: strategy verification, trace lint, source lint.
+"""Static analysis passes: strategy verification, trace/chaos lint, source lint.
 
-Three passes guard the reproduction's correctness (see DESIGN.md §5 and
+Four passes guard the reproduction's correctness (see DESIGN.md §5 and
 ``python -m repro.analysis``):
 
 * :func:`verify_strategy` / :func:`assert_valid` — static checks of a
@@ -9,6 +9,9 @@ Three passes guard the reproduction's correctness (see DESIGN.md §5 and
   tuples, deadlock freedom);
 * :func:`lint_trace` — physical-invariant checks over recorded fluid
   network traces (capacity, max-min fairness, byte conservation);
+* :func:`lint_chaos` — the same physical invariants over a *fault-injected*
+  run's trace, plus well-formedness of the ``chaos-*`` event stream
+  (fraction bounds, capacity restoration, evictions have injected causes);
 * :func:`lint_source` — AST determinism/convention lint over the source
   tree.
 

@@ -1,12 +1,16 @@
 """``python -m repro.analysis`` — run the static analysis passes.
 
-Three passes, all on by default (select a subset with flags):
+Four passes, all on by default (select a subset with flags):
 
 * ``--source``     AST determinism/convention lint over ``src/repro``;
 * ``--strategies`` plan every backend × primitive × benchmark topology and
   statically verify the resulting strategies;
 * ``--traces``     run a recorded AllReduce and lint the fluid-network
-  trace for capacity/fairness/conservation invariants.
+  trace for capacity/fairness/conservation invariants;
+* ``--chaos``      replay a seeded fault plan through the chaos runner and
+  lint the recorded trace: the fluid invariants must hold *through* the
+  injected link faults, chaos events must be well-formed, and the run's
+  aggregation must stay bitwise exact.
 
 Exits non-zero when any pass reports a violation, so CI can gate on it.
 """
@@ -114,6 +118,42 @@ def run_trace_pass() -> List[Violation]:
     return lint_trace(recorder.records)
 
 
+def run_chaos_pass(seed: int = 23) -> List[Violation]:
+    """Replay one seeded fault plan with a recorder attached and lint it."""
+    from repro.analysis.lint_chaos import lint_chaos
+    from repro.chaos import ChaosRunner, FaultPlan
+    from repro.hardware.presets import make_homo_cluster
+    from repro.simulation.records import TraceRecorder
+
+    specs = make_homo_cluster(num_servers=2, gpus_per_server=4)
+    plan = FaultPlan.generate(
+        seed=seed,
+        world=8,
+        iterations=3,
+        straggler_rate=0.4,
+        crash_rate=0.3,
+        link_fault_rate=0.6,
+        num_instances=2,
+    )
+    recorder = TraceRecorder()
+    report = ChaosRunner(specs, plan, length=512, recorder=recorder).run()
+    print(
+        f"     chaos: replayed seed {seed} — {len(plan.stragglers)} stragglers, "
+        f"{len(plan.crashes)} crashes, {len(plan.link_faults)} link faults; "
+        f"linted {len(recorder.records)} trace records"
+    )
+    violations = lint_chaos(recorder.records)
+    if not report.all_exact:
+        violations.append(
+            Violation(
+                "chaos-exactness",
+                f"seed{seed}",
+                "a chaos iteration's AllReduce was not bitwise exact",
+            )
+        )
+    return violations
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -124,8 +164,9 @@ def main(argv=None) -> int:
         "--strategies", action="store_true", help="run only the strategy verifier"
     )
     parser.add_argument("--traces", action="store_true", help="run only the trace lint")
+    parser.add_argument("--chaos", action="store_true", help="run only the chaos lint")
     args = parser.parse_args(argv)
-    selected = [args.source, args.strategies, args.traces]
+    selected = [args.source, args.strategies, args.traces, args.chaos]
     run_all = not any(selected)
 
     ok = True
@@ -135,6 +176,8 @@ def main(argv=None) -> int:
         ok &= _report("strategy verifier", run_strategy_pass())
     if run_all or args.traces:
         ok &= _report("trace lint", run_trace_pass())
+    if run_all or args.chaos:
+        ok &= _report("chaos lint", run_chaos_pass())
     return 0 if ok else 1
 
 

@@ -1,0 +1,129 @@
+"""Post-run lint over recorded chaos traces.
+
+A chaos run with a :class:`repro.simulation.records.TraceRecorder` attached
+(see :class:`repro.chaos.runner.ChaosRunner`) interleaves two streams in
+one record list: the fluid network's ``net-*`` events and the injector's
+``chaos-*`` events. This pass checks that injecting faults never bends the
+simulator's physics:
+
+* the ``net-*`` subset must still satisfy **every**
+  :func:`repro.analysis.lint_trace.lint_trace` invariant — capacity,
+  max-min fairness, byte conservation hold *through* link degradations and
+  flaps;
+* ``chaos-link`` events carry a ``bandwidth_fraction`` in ``[0, 1]``, and
+  the **last** event per instance restores fraction 1.0 (an injector may
+  degrade a link but must always hand nominal capacity back);
+* ``chaos-straggler`` delays are positive, ``chaos-msg`` actions are known,
+  and every ``chaos-evict`` is preceded by a fault event
+  (``chaos-crash``/``chaos-straggler``) for the same rank — an eviction
+  without an injected cause means the detector fired spuriously;
+* chaos timestamps are non-decreasing (the replay-comparison order).
+
+Violations share the :class:`repro.analysis.verify_strategy.Violation`
+record type so ``python -m repro.analysis --chaos`` reports uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.analysis.lint_trace import lint_trace
+from repro.analysis.verify_strategy import Violation
+from repro.simulation.records import TraceRecord
+
+#: Chaos event kinds the injector and runner emit.
+CHAOS_KINDS = (
+    "chaos-straggler",
+    "chaos-crash",
+    "chaos-link",
+    "chaos-msg",
+    "chaos-evict",
+    "chaos-rejoin",
+    "chaos-resynthesis",
+)
+
+_MESSAGE_ACTIONS = ("drop", "duplicate")
+
+
+def lint_chaos(records: Iterable[TraceRecord]) -> List[Violation]:
+    """Check one recorded chaos run; returns all violations (empty = clean)."""
+    records = list(records)
+    fluid = [r for r in records if r.kind.startswith("net-")]
+    chaos = [r for r in records if r.kind.startswith("chaos-")]
+
+    violations = lint_trace(fluid)
+
+    last_time = float("-inf")
+    last_fraction: Dict[int, float] = {}
+    faulted_ranks: Set[int] = set()
+    for record in chaos:
+        if record.kind not in CHAOS_KINDS:
+            violations.append(
+                Violation("chaos-kind", record.subject, f"unknown kind {record.kind}")
+            )
+        if record.time < last_time:
+            violations.append(
+                Violation(
+                    "event-order",
+                    record.subject,
+                    f"{record.kind} at t={record.time} after t={last_time}",
+                )
+            )
+        last_time = max(last_time, record.time)
+
+        if record.kind == "chaos-link":
+            fraction = record.payload.get("bandwidth_fraction")
+            instance = record.payload.get("instance")
+            if fraction is None or not 0.0 <= fraction <= 1.0:
+                violations.append(
+                    Violation(
+                        "chaos-link-fraction",
+                        record.subject,
+                        f"bandwidth fraction {fraction} outside [0, 1]",
+                    )
+                )
+            elif instance is not None:
+                last_fraction[instance] = fraction
+        elif record.kind == "chaos-straggler":
+            delay = record.payload.get("delay_seconds", 0.0)
+            if delay <= 0:
+                violations.append(
+                    Violation(
+                        "chaos-straggler-delay",
+                        record.subject,
+                        f"non-positive delay {delay}",
+                    )
+                )
+            faulted_ranks.add(record.payload.get("rank"))
+        elif record.kind == "chaos-crash":
+            faulted_ranks.add(record.payload.get("rank"))
+        elif record.kind == "chaos-msg":
+            action = record.payload.get("action")
+            if action not in _MESSAGE_ACTIONS:
+                violations.append(
+                    Violation(
+                        "chaos-msg-action", record.subject, f"unknown action {action!r}"
+                    )
+                )
+        elif record.kind == "chaos-evict":
+            rank = record.payload.get("rank")
+            if rank not in faulted_ranks:
+                violations.append(
+                    Violation(
+                        "chaos-evict-cause",
+                        record.subject,
+                        f"rank {rank} evicted without a prior injected fault",
+                    )
+                )
+
+    for instance, fraction in sorted(last_fraction.items()):
+        if fraction != 1.0:
+            violations.append(
+                Violation(
+                    "chaos-link-restore",
+                    f"instance{instance}",
+                    f"final bandwidth fraction {fraction} != 1.0 — nominal "
+                    "capacity was never restored",
+                )
+            )
+    return violations

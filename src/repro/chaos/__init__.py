@@ -1,0 +1,33 @@
+"""Seeded, schedule-driven fault injection for the AdapCC reproduction.
+
+One :class:`FaultPlan` is a declarative, seed-replayable schedule of
+stragglers, crashes, link degradations and message faults; the
+:class:`ChaosInjector` applies it to a simulated cluster, and the
+:class:`ChaosRunner` drives it through the full relay/recovery stack.
+"""
+
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.plan import (
+    DROP,
+    DUPLICATE,
+    CrashFault,
+    FaultPlan,
+    LinkFault,
+    MessageFault,
+    StragglerFault,
+)
+from repro.chaos.runner import ChaosRunner, ChaosRunReport, IterationOutcome
+
+__all__ = [
+    "DROP",
+    "DUPLICATE",
+    "ChaosInjector",
+    "ChaosRunReport",
+    "ChaosRunner",
+    "CrashFault",
+    "FaultPlan",
+    "IterationOutcome",
+    "LinkFault",
+    "MessageFault",
+    "StragglerFault",
+]

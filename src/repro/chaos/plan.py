@@ -1,0 +1,270 @@
+"""Declarative, seed-replayable fault plans.
+
+A :class:`FaultPlan` is the chaos subsystem's single source of truth: a
+frozen list of fault events, each one a plain dataclass, plus the seed the
+plan was generated from. Everything downstream — the injector, the runner,
+the conformance suite — consumes the *plan*, never ambient randomness, so
+any chaos run can be replayed bit-for-bit from ``FaultPlan.generate(seed,
+...)`` (or from the explicit event list itself).
+
+Four fault families (ISSUE 2's tentpole):
+
+* :class:`StragglerFault` — a per-rank delay added to the tensor-ready
+  time of one iteration (drives the ski-rental wait-vs-relay decision);
+* :class:`CrashFault` — a worker crash at a chosen iteration, permanent
+  (``rejoin_iteration=None``) or transient (the rank reports ``None``
+  until it rejoins);
+* :class:`LinkFault` — degradation or flapping of one instance's NIC
+  bandwidth on the :class:`~repro.simulation.fluid.FluidNetwork`;
+* :class:`MessageFault` — a dropped or duplicated work-queue submission at
+  the framework/communicator boundary (Fig. 4's Work Queue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ChaosError
+
+#: Message-fault actions.
+DROP = "drop"
+DUPLICATE = "duplicate"
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """Delay ``rank``'s tensor-ready time by ``delay_seconds`` at one
+    iteration."""
+
+    rank: int
+    iteration: int
+    delay_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.delay_seconds < 0:
+            raise ChaosError("straggler delay must be non-negative")
+        if self.iteration < 0:
+            raise ChaosError("iteration must be non-negative")
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """``rank`` crashes at ``iteration``; a transient crash rejoins at
+    ``rejoin_iteration`` (exclusive of the crash window), a permanent one
+    never does."""
+
+    rank: int
+    iteration: int
+    rejoin_iteration: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ChaosError("iteration must be non-negative")
+        if self.rejoin_iteration is not None and self.rejoin_iteration <= self.iteration:
+            raise ChaosError("rejoin must happen after the crash")
+
+    @property
+    def permanent(self) -> bool:
+        """Whether the worker never comes back."""
+        return self.rejoin_iteration is None
+
+    def down_at(self, iteration: int) -> bool:
+        """Whether the worker is down during ``iteration``."""
+        if iteration < self.iteration:
+            return False
+        return self.rejoin_iteration is None or iteration < self.rejoin_iteration
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Degrade one instance's NIC to ``bandwidth_fraction`` of nominal at
+    ``start_seconds`` (simulated time) for ``duration_seconds``.
+
+    With ``flaps > 1`` the window is split into that many down/up cycles
+    (half degraded, half restored each), modelling a flapping link rather
+    than a single sag. The nominal bandwidth is always restored at the end
+    of the window.
+    """
+
+    instance_id: int
+    start_seconds: float
+    duration_seconds: float
+    bandwidth_fraction: float
+    flaps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.start_seconds < 0 or self.duration_seconds <= 0:
+            raise ChaosError("link fault window must be positive and start at t>=0")
+        if not 0.0 <= self.bandwidth_fraction < 1.0:
+            raise ChaosError("bandwidth fraction must be in [0, 1)")
+        if self.flaps < 1:
+            raise ChaosError("flaps must be >= 1")
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """Drop or duplicate the ``submission_index``-th work-queue submission
+    of ``rank`` (0-based, counted per rank across the whole run)."""
+
+    rank: int
+    submission_index: int
+    action: str
+
+    def __post_init__(self) -> None:
+        if self.action not in (DROP, DUPLICATE):
+            raise ChaosError(f"unknown message-fault action {self.action!r}")
+        if self.submission_index < 0:
+            raise ChaosError("submission index must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One replayable chaos schedule for a multi-iteration run."""
+
+    seed: int
+    iterations: int
+    stragglers: Tuple[StragglerFault, ...] = ()
+    crashes: Tuple[CrashFault, ...] = ()
+    link_faults: Tuple[LinkFault, ...] = ()
+    message_faults: Tuple[MessageFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ChaosError("a plan covers at least one iteration")
+        crashed_ranks = [c.rank for c in self.crashes]
+        if len(crashed_ranks) != len(set(crashed_ranks)):
+            raise ChaosError("at most one crash fault per rank")
+
+    # -- queries ---------------------------------------------------------------
+
+    def ready_delays(
+        self, iteration: int, participants: Sequence[int]
+    ) -> Dict[int, Optional[float]]:
+        """Per-rank ready delays for one iteration: straggler delays where
+        scheduled, ``None`` for ranks down (crashed) this iteration, 0.0
+        otherwise."""
+        delays: Dict[int, Optional[float]] = {rank: 0.0 for rank in participants}
+        for straggler in self.stragglers:
+            if straggler.iteration == iteration and straggler.rank in delays:
+                delays[straggler.rank] = straggler.delay_seconds
+        for crash in self.crashes:
+            if crash.rank in delays and crash.down_at(iteration):
+                delays[crash.rank] = None
+        return delays
+
+    def crashed_at(self, iteration: int) -> List[int]:
+        """Ranks down during ``iteration``."""
+        return sorted(c.rank for c in self.crashes if c.down_at(iteration))
+
+    def rejoining_at(self, iteration: int) -> List[int]:
+        """Ranks whose transient crash ends exactly at ``iteration``."""
+        return sorted(
+            c.rank for c in self.crashes if c.rejoin_iteration == iteration
+        )
+
+    def message_actions(self, rank: int) -> Dict[int, str]:
+        """submission-index -> action map for one rank's work queue."""
+        return {
+            fault.submission_index: fault.action
+            for fault in self.message_faults
+            if fault.rank == rank
+        }
+
+    def signature(self) -> Tuple:
+        """A stable value equal across replays of the same plan (used by the
+        determinism conformance tests)."""
+        return (
+            self.seed,
+            self.iterations,
+            self.stragglers,
+            self.crashes,
+            self.link_faults,
+            self.message_faults,
+        )
+
+    # -- generation ------------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        world: int,
+        iterations: int,
+        straggler_rate: float = 0.3,
+        max_delay_seconds: float = 0.1,
+        crash_rate: float = 0.1,
+        transient_fraction: float = 0.5,
+        link_fault_rate: float = 0.0,
+        num_instances: int = 0,
+        message_fault_rate: float = 0.0,
+    ) -> "FaultPlan":
+        """Draw a random-but-replayable plan from ``seed``.
+
+        All randomness flows through one ``numpy.random.Generator`` seeded
+        here, so two calls with identical arguments produce identical plans
+        (asserted property-based in the conformance suite). Rank 0 is never
+        crashed — the coordinator must survive — and at least one rank is
+        left alive at every iteration by capping concurrent crashes at
+        ``world - 2``.
+        """
+        if world < 2:
+            raise ChaosError("chaos plans need at least two ranks")
+        rng = np.random.default_rng(seed)
+        stragglers: List[StragglerFault] = []
+        crashes: List[CrashFault] = []
+        link_faults: List[LinkFault] = []
+        message_faults: List[MessageFault] = []
+
+        crashable = list(range(1, world))
+        rng.shuffle(crashable)
+        max_crashes = max(0, world - 2)
+        for rank in crashable[:max_crashes]:
+            if rng.random() >= crash_rate:
+                continue
+            at = int(rng.integers(0, iterations))
+            if rng.random() < transient_fraction and at + 1 < iterations:
+                rejoin = int(rng.integers(at + 1, iterations))
+                crashes.append(CrashFault(rank, at, rejoin_iteration=rejoin))
+            else:
+                crashes.append(CrashFault(rank, at))
+        down_ranks = {c.rank for c in crashes}
+
+        for iteration in range(iterations):
+            for rank in range(world):
+                if rank in down_ranks:
+                    continue
+                if rng.random() < straggler_rate:
+                    delay = float(rng.uniform(0.0, max_delay_seconds))
+                    stragglers.append(StragglerFault(rank, iteration, delay))
+
+        for instance_id in range(num_instances):
+            if rng.random() >= link_fault_rate:
+                continue
+            start = float(rng.uniform(0.0, 0.05))
+            duration = float(rng.uniform(0.01, 0.1))
+            fraction = float(rng.uniform(0.05, 0.8))
+            flaps = int(rng.integers(1, 4))
+            link_faults.append(
+                LinkFault(instance_id, start, duration, fraction, flaps=flaps)
+            )
+
+        if message_fault_rate > 0:
+            for rank in range(world):
+                if rank in down_ranks:
+                    continue
+                for index in range(iterations):
+                    if rng.random() < message_fault_rate:
+                        action = DROP if rng.random() < 0.5 else DUPLICATE
+                        message_faults.append(MessageFault(rank, index, action))
+
+        return cls(
+            seed=seed,
+            iterations=iterations,
+            stragglers=tuple(stragglers),
+            crashes=tuple(crashes),
+            link_faults=tuple(link_faults),
+            message_faults=tuple(message_faults),
+        )

@@ -1,0 +1,254 @@
+"""End-to-end chaos execution: a fault plan driven through the full stack.
+
+:class:`ChaosRunner` owns one simulated cluster and replays one
+:class:`~repro.chaos.plan.FaultPlan` against it, iteration by iteration:
+
+1. the :class:`~repro.chaos.injector.ChaosInjector` resolves the plan into
+   per-rank ready delays (and has already armed link faults on the fluid
+   network);
+2. the relay coordinator's ski-rental rule decides wait-vs-proceed on
+   those *injected* ready times, and the two-phase adaptive AllReduce
+   executes on the unchanged graph;
+3. workers the :class:`~repro.relay.faults.FaultDetector` declares faulty
+   are evicted from the group, the data loader redistributes shards so the
+   global batch stays constant, and the next iteration's strategy is
+   **re-synthesized on the shrunk topology**;
+4. a transient crasher rejoins at its planned iteration: membership grows
+   back, the strategy is re-synthesized again, and — the regression this
+   module guards — the rejoiner gets grace for the iteration in which it
+   has not yet reported (it is *unreported*, not faulty).
+
+Every iteration's outputs are checked against the bitwise-exact reference
+(the elementwise sum over the ranks that actually contributed), so the
+conformance suite's central claim — chunked, pipelined, two-phase,
+fault-ridden execution never changes the arithmetic — is asserted on
+every run, not just in dedicated tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.plan import FaultPlan
+from repro.errors import ChaosError
+from repro.hardware.cluster import Cluster
+from repro.hardware.instance import InstanceSpec
+from repro.relay.coordinator import AdaptiveAllReduce, AdaptiveResult
+from repro.simulation.engine import Simulator
+from repro.simulation.records import TraceRecorder
+from repro.synthesis.optimizer import Synthesizer
+from repro.synthesis.strategy import Primitive, Strategy
+from repro.topology.graph import LogicalTopology
+from repro.training.data import ShardedDataLoader
+
+
+@dataclass
+class IterationOutcome:
+    """What one chaos-driven iteration did and produced."""
+
+    iteration: int
+    participants: List[int]
+    contributors: List[int]
+    proceeded: bool
+    relays: List[int]
+    evicted: List[int]
+    rejoined: List[int]
+    outputs: Dict[int, np.ndarray]
+    expected: np.ndarray
+    duration: float
+
+    @property
+    def exact(self) -> bool:
+        """Whether every contributor's output equals the reference sum."""
+        return all(
+            np.array_equal(self.outputs[rank], self.expected)
+            for rank in self.contributors
+        )
+
+
+@dataclass
+class ChaosRunReport:
+    """Everything a conformance test needs to compare two replays."""
+
+    plan_signature: Tuple
+    iterations: List[IterationOutcome] = field(default_factory=list)
+    event_trace: List[Tuple] = field(default_factory=list)
+    final_members: List[int] = field(default_factory=list)
+    resyntheses: int = 0
+
+    @property
+    def all_exact(self) -> bool:
+        """Whether every iteration's aggregation was bitwise exact."""
+        return all(outcome.exact for outcome in self.iterations)
+
+    def final_outputs(self) -> Dict[int, np.ndarray]:
+        """Last iteration's per-rank outputs (the replay-equality anchor)."""
+        return self.iterations[-1].outputs if self.iterations else {}
+
+
+class ChaosRunner:
+    """Replays one fault plan over a fresh simulated cluster."""
+
+    def __init__(
+        self,
+        specs: Sequence[InstanceSpec],
+        plan: FaultPlan,
+        length: int = 2048,
+        byte_scale: float = 1.0,
+        max_chunks: Optional[int] = 8,
+        recorder: Optional[TraceRecorder] = None,
+        dataset_size: int = 4096,
+    ):
+        self.sim = Simulator()
+        self.cluster = Cluster(self.sim, specs)
+        if recorder is not None:
+            self.cluster.network.recorder = recorder
+        self.topology = LogicalTopology.from_cluster(self.cluster)
+        self.synthesizer = Synthesizer(self.topology)
+        self.plan = plan
+        self.length = length
+        self.byte_scale = byte_scale
+        self.max_chunks = max_chunks
+        self.injector = ChaosInjector(self.cluster, plan, recorder=recorder)
+        self.adaptive = AdaptiveAllReduce(self.topology, seed=plan.seed)
+        ranks = [gpu.rank for gpu in self.cluster.gpus]
+        if any(c.rank not in ranks for c in plan.crashes):
+            raise ChaosError("plan crashes ranks outside the cluster")
+        self.members: List[int] = sorted(ranks)
+        self.loader = ShardedDataLoader(
+            dataset_size=dataset_size, global_batch=len(ranks) * 8, workers=list(ranks)
+        )
+        self._strategy: Optional[Strategy] = None
+        self._strategy_members: Optional[Tuple[int, ...]] = None
+        self.resyntheses = 0
+
+    # -- strategy management ---------------------------------------------------
+
+    def _strategy_for(self, members: Sequence[int]) -> Strategy:
+        """Current strategy, re-synthesized when membership changed."""
+        key = tuple(members)
+        if self._strategy is None or self._strategy_members != key:
+            first = self._strategy is None
+            tensor_size = self.length * 8 * self.byte_scale
+            self._strategy = self.synthesizer.synthesize(
+                Primitive.ALLREDUCE, tensor_size, list(members)
+            )
+            self._strategy_members = key
+            if not first:
+                self.resyntheses += 1
+            self.injector.record(
+                "chaos-resynthesis", "synthesizer", key,
+                members=list(key),
+            )
+        return self._strategy
+
+    # -- inputs ----------------------------------------------------------------
+
+    def _inputs_for(self, rng: np.random.Generator, ranks: Sequence[int]):
+        """Integer-valued float64 tensors: float addition over them is exact
+        in any order, which is what makes 'bitwise equal' well-defined for
+        differently-shaped aggregation trees."""
+        return {
+            rank: rng.integers(0, 64, self.length).astype(np.float64)
+            for rank in ranks
+        }
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self) -> ChaosRunReport:
+        """Replay the whole plan; returns the comparable report."""
+        self.injector.start()
+        rng = np.random.default_rng(self.plan.seed)
+        report = ChaosRunReport(plan_signature=self.plan.signature())
+        all_ranks = sorted(gpu.rank for gpu in self.cluster.gpus)
+
+        for iteration in range(self.plan.iterations):
+            # Rejoin transient crashers whose window ends here (if they
+            # were evicted; a crasher that was never detected — e.g. its
+            # window fell between collectives — is still a member).
+            rejoined = [
+                rank
+                for rank in self.plan.rejoining_at(iteration)
+                if rank not in self.members
+            ]
+            if rejoined:
+                self.members = sorted(set(self.members) | set(rejoined))
+                self.loader.readmit(rejoined)
+                for rank in rejoined:
+                    self.injector.record(
+                        "chaos-rejoin", f"rank{rank}", iteration, rank,
+                        iteration=iteration, rank=rank,
+                    )
+
+            participants = list(self.members)
+            # Inputs are drawn for the full cluster every iteration so the
+            # stream consumed per rank is membership-independent — replays
+            # with different eviction timing still agree on tensors.
+            inputs_all = self._inputs_for(rng, all_ranks)
+            inputs = {rank: inputs_all[rank] for rank in participants}
+            ready = self.injector.ready_delays(iteration, participants)
+            strategy = self._strategy_for(participants)
+
+            if all(delay is None for delay in ready.values()):
+                raise ChaosError(f"iteration {iteration}: no worker alive")
+
+            result: AdaptiveResult = self.adaptive.run(
+                strategy,
+                inputs,
+                ready,
+                byte_scale=self.byte_scale,
+                max_chunks=self.max_chunks,
+            )
+
+            faulty = (
+                list(result.fault_report.faulty_ranks)
+                if result.fault_report is not None
+                else []
+            )
+            contributors = [rank for rank in participants if rank not in faulty]
+            expected = np.zeros(self.length, dtype=np.float64)
+            for rank in contributors:
+                expected += inputs[rank]
+
+            report.iterations.append(
+                IterationOutcome(
+                    iteration=iteration,
+                    participants=participants,
+                    contributors=contributors,
+                    proceeded=result.decision.proceed,
+                    relays=list(result.decision.relays),
+                    evicted=faulty,
+                    rejoined=rejoined,
+                    outputs=result.outputs,
+                    expected=expected,
+                    duration=result.duration,
+                )
+            )
+
+            if faulty:
+                # Eviction: shrink the group, rebalance shards (global
+                # batch unchanged), and force re-synthesis next iteration.
+                self.members = [r for r in self.members if r not in faulty]
+                if not self.members:
+                    raise ChaosError("chaos plan evicted the whole group")
+                self.loader.redistribute(self.members)
+                for rank in sorted(faulty):
+                    self.injector.record(
+                        "chaos-evict", f"rank{rank}", iteration, rank,
+                        iteration=iteration, rank=rank,
+                    )
+
+        # Drain the (finite) link-fault processes: the adaptive executor
+        # advances time only as far as each collective needs, so a fault
+        # window reaching past the last iteration still owes its nominal-
+        # bandwidth restoration.
+        self.sim.run()
+
+        report.event_trace = list(self.injector.trace)
+        report.final_members = list(self.members)
+        report.resyntheses = self.resyntheses
+        return report

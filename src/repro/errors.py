@@ -86,3 +86,7 @@ class WorkerFault(ReproError):
 
 class TrainingError(ReproError):
     """Errors raised by the training substrate."""
+
+
+class ChaosError(ReproError):
+    """Malformed fault plans or impossible injection requests."""

@@ -7,42 +7,83 @@ proceed with the current iteration's update, and the data loader is told
 to redistribute shards so the global batch size stays constant (the
 redistribution itself lives in :mod:`repro.training.data`).
 
+The detector distinguishes three kinds of non-ready worker:
+
+* **crashed** — the worker explicitly reported ``None`` (it will never be
+  ready); evicted.
+* **late** — the worker reported a ready time past the deadline; evicted.
+* **unreported** — the worker has no entry at all in the ready map. This
+  is *not* a fault: a rank that joined the group mid-iteration (elastic
+  scale-out, or a transient worker rejoining after a crash) has simply not
+  negotiated with the coordinator yet. It is given grace until it reports,
+  instead of being evicted the instant it appears.
+
 For comparison, PyTorch Elastic needs a 15 s keep-alive timeout plus a
 full job restart; AdapCC's path is graph reconstruction only (Fig. 19c).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import CoordinationError
 
 #: The paper's multiplier on (now - fastest ready time).
 FAULT_THRESHOLD_MULTIPLIER = 5.0
+#: Environment variable overriding the default multiplier (operators tune
+#: eviction aggressiveness per deployment without code changes).
+ENV_FAULT_MULTIPLIER = "REPRO_FAULT_MULTIPLIER"
 #: PyTorch Elastic's keep-alive window, for the comparison benches.
 PYTORCH_ELASTIC_TIMEOUT_SECONDS = 15.0
 
 
+def default_fault_multiplier() -> float:
+    """The T_fault multiplier: ``REPRO_FAULT_MULTIPLIER`` if set, else 5."""
+    env = os.environ.get(ENV_FAULT_MULTIPLIER)
+    if env is None or not env.strip():
+        return FAULT_THRESHOLD_MULTIPLIER
+    try:
+        return float(env)
+    except ValueError as exc:
+        raise CoordinationError(
+            f"{ENV_FAULT_MULTIPLIER}={env!r} is not a number"
+        ) from exc
+
+
 @dataclass
 class FaultReport:
-    """Outcome of one fault-detection pass."""
+    """Outcome of one fault-detection pass.
+
+    ``faulty_ranks`` is the union of ``crashed_ranks`` (reported ``None``:
+    will never be ready) and ``late_ranks`` (reported a ready time past the
+    deadline). ``unreported_ranks`` never reported at all — mid-iteration
+    joiners that get grace rather than eviction — and are deliberately
+    *not* part of ``faulty_ranks``.
+    """
 
     faulty_ranks: List[int]
     survivors: List[int]
     threshold_seconds: float
     detected_at: float
+    crashed_ranks: List[int] = field(default_factory=list)
+    late_ranks: List[int] = field(default_factory=list)
+    unreported_ranks: List[int] = field(default_factory=list)
 
     @property
     def any_faults(self) -> bool:
-        """Whether any worker was declared faulty."""
+        """Whether any worker was declared faulty (unreported ranks are
+        awaiting their first report, not faults)."""
         return bool(self.faulty_ranks)
 
 
 class FaultDetector:
     """Applies the T_fault rule to a set of (possibly absent) ready times."""
 
-    def __init__(self, multiplier: float = FAULT_THRESHOLD_MULTIPLIER):
+    def __init__(self, multiplier: Optional[float] = None):
+        if multiplier is None:
+            multiplier = default_fault_multiplier()
         if multiplier <= 0:
             raise CoordinationError("fault multiplier must be positive")
         self.multiplier = multiplier
@@ -61,17 +102,30 @@ class FaultDetector:
         fastest_ready: float,
         phase1_end: float,
     ) -> FaultReport:
-        """Classify workers as faulty or surviving.
+        """Classify workers as crashed, late, unreported, or surviving.
 
         ``ready_times[rank]`` is the worker's (possibly future) ready time,
-        or ``None`` for a worker that will never report (crash).
+        or ``None`` for a worker that explicitly reported it will never be
+        ready (crash). A rank *absent* from ``ready_times`` has never
+        reported — e.g. it joined the group mid-iteration — and is listed
+        as unreported rather than evicted.
         """
         deadline = phase1_end + self.threshold(fastest_ready, phase1_end)
         faulty: List[int] = []
+        crashed: List[int] = []
+        late: List[int] = []
+        unreported: List[int] = []
         survivors: List[int] = []
         for rank in participants:
-            ready = ready_times.get(rank, None)
-            if ready is None or ready > deadline:
+            if rank not in ready_times:
+                unreported.append(rank)
+                continue
+            ready = ready_times[rank]
+            if ready is None:
+                crashed.append(rank)
+                faulty.append(rank)
+            elif ready > deadline:
+                late.append(rank)
                 faulty.append(rank)
             else:
                 survivors.append(rank)
@@ -84,4 +138,7 @@ class FaultDetector:
             survivors=survivors,
             threshold_seconds=deadline - phase1_end,
             detected_at=deadline,
+            crashed_ranks=crashed,
+            late_ranks=late,
+            unreported_ranks=unreported,
         )

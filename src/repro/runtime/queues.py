@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -41,11 +41,22 @@ class WorkQueues:
         self.rank = rank
         self.work = Store(sim)
         self.result = Store(sim)
+        #: Optional fault-injection hook at the queue boundary: maps a
+        #: submitted item to the list of items actually enqueued (``[]`` =
+        #: dropped, ``[item, item]`` = duplicated). Installed by
+        #: :meth:`repro.chaos.injector.ChaosInjector.attach_queues`; the
+        #: submitter still gets a sequence number — losing a message must
+        #: be invisible to the sender, that is what the service's timeout
+        #: path is for.
+        self.fault_filter: Optional[Callable[[WorkItem], List[WorkItem]]] = None
 
     def submit(self, primitive: Primitive, tensor: np.ndarray, **metadata: Any) -> int:
         """Push a request; returns its sequence number."""
         sequence = next(WorkQueues._sequences)
-        self.work.put(WorkItem(sequence, primitive, tensor, self.rank, metadata))
+        item = WorkItem(sequence, primitive, tensor, self.rank, metadata)
+        delivered = [item] if self.fault_filter is None else self.fault_filter(item)
+        for entry in delivered:
+            self.work.put(entry)
         return sequence
 
     def poll_work(self) -> Event:

@@ -7,11 +7,27 @@ for continued computation. :class:`CollectiveService` reproduces that
 loop on the simulator: a dispatcher process matches same-position requests
 across ranks (a collective needs all participants' submissions), executes
 them in submission order, and completes every rank's result queue.
+
+Failure paths (exercised by :mod:`repro.chaos`):
+
+* **timeout + retry with backoff** — with ``timeout_seconds`` set, once
+  the first submission of a round arrives the dispatcher waits at most
+  ``timeout_seconds`` for each further one, retrying up to ``max_retries``
+  times with the window growing by ``backoff_factor`` per silent attempt;
+* **graceful degradation** — when retries are exhausted the round executes
+  among the ranks that did submit (the strategy provider is asked for a
+  strategy on the *shrunk* participant set), the missing ranks receive the
+  partial result under :data:`DEGRADED_SEQUENCE`, and the round is logged
+  in :attr:`CollectiveService.degradations`;
+* **duplicate suppression** — a submission replayed at the queue boundary
+  (same sequence number) is consumed and discarded, so a duplicated
+  message can never double-count a tensor.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -20,6 +36,20 @@ from repro.runtime.collectives import launch_allreduce
 from repro.runtime.queues import WorkItem, WorkQueues
 from repro.synthesis.strategy import Primitive, Strategy
 from repro.topology.graph import LogicalTopology
+
+#: Sequence number used when delivering a degraded (partial) result to a
+#: rank whose own submission never arrived — it has no real sequence to
+#: match, and the framework side must be able to tell the two apart.
+DEGRADED_SEQUENCE = -1
+
+
+@dataclass(frozen=True)
+class DegradedCollective:
+    """Record of one round that completed without every rank."""
+
+    missing_ranks: Tuple[int, ...]
+    completed_at: float
+    retries: int
 
 
 class CollectiveService:
@@ -31,6 +61,10 @@ class CollectiveService:
     primitive, executes, and pushes each rank's output into its result
     queue. FIFO order per rank is preserved — the paper's "executed in
     order" guarantee.
+
+    With ``timeout_seconds=None`` (the default) the dispatcher waits
+    forever, the seed behaviour. Setting it enables the failure paths
+    documented in the module docstring.
     """
 
     def __init__(
@@ -38,17 +72,43 @@ class CollectiveService:
         topology: LogicalTopology,
         strategy_provider,
         byte_scale: float = 1.0,
+        timeout_seconds: Optional[float] = None,
+        max_retries: int = 2,
+        backoff_factor: float = 2.0,
     ):
+        if timeout_seconds is not None and timeout_seconds <= 0:
+            raise CommunicatorError("timeout must be positive")
+        if max_retries < 0:
+            raise CommunicatorError("max_retries must be non-negative")
+        if backoff_factor < 1.0:
+            raise CommunicatorError("backoff factor must be >= 1")
         self.topology = topology
         self.sim = topology.cluster.sim
         #: Callable (primitive, tensor_size, participants) -> Strategy.
+        #: Under degradation it is called with the shrunk participant list,
+        #: so it must be able to re-synthesize on a sub-topology.
         self.strategy_provider = strategy_provider
         self.byte_scale = byte_scale
+        self.timeout_seconds = timeout_seconds
+        self.max_retries = max_retries
+        self.backoff_factor = backoff_factor
         self.queues: Dict[int, WorkQueues] = {
             gpu.rank: WorkQueues(self.sim, gpu.rank) for gpu in topology.cluster.gpus
         }
         self.executed = 0
+        #: One entry per round that ran without a full rank set.
+        self.degradations: List[DegradedCollective] = []
+        #: Duplicated submissions that were consumed and discarded.
+        self.duplicates_suppressed = 0
         self._running = False
+        #: One outstanding work-queue poll per rank, persisted across
+        #: rounds: a poll that outlived its round's timeout stays armed and
+        #: captures the rank's next (possibly very late) submission without
+        #: losing it to a stale getter.
+        self._pending: Dict[int, object] = {}
+        #: Sequence numbers already folded into a collective; a replayed
+        #: submission carrying one of these is a duplicate.
+        self._served: Set[int] = set()
 
     # -- framework-facing API -------------------------------------------------------
 
@@ -59,7 +119,11 @@ class CollectiveService:
         return self.queues[rank].submit(primitive, tensor)
 
     def fetch(self, rank: int):
-        """Event yielding the next (sequence, output tensor) for a rank."""
+        """Event yielding the next (sequence, output tensor) for a rank.
+
+        A degraded delivery carries :data:`DEGRADED_SEQUENCE` instead of a
+        real sequence number.
+        """
         return self.queues[rank].fetch_result()
 
     # -- dispatcher -----------------------------------------------------------------
@@ -75,37 +139,98 @@ class CollectiveService:
         """Stop after the in-flight request completes."""
         self._running = False
 
+    def _poll(self, rank: int):
+        """The rank's outstanding work poll, creating one if needed."""
+        event = self._pending.get(rank)
+        if event is None:
+            event = self.queues[rank].poll_work()
+            self._pending[rank] = event
+        return event
+
+    def _harvest(self, items: Dict[int, WorkItem]) -> None:
+        """Consume every triggered poll into ``items``, discarding
+        duplicated submissions (already-served sequence numbers)."""
+        for rank in self.queues:
+            while rank not in items:
+                event = self._poll(rank)
+                if not event.triggered:
+                    break
+                self._pending[rank] = None
+                item: WorkItem = event.value
+                if item.sequence in self._served:
+                    self.duplicates_suppressed += 1
+                    continue
+                items[rank] = item
+
     def _dispatch(self):
         ranks = sorted(self.queues)
         while self._running:
-            # Wait for every rank's next request (a collective is only
-            # triggered when all participants have submitted).
-            items: List[WorkItem] = []
-            for rank in ranks:
-                item = yield self.queues[rank].poll_work()
-                items.append(item)
-            primitives = {item.primitive for item in items}
-            if len(primitives) != 1:
-                raise CommunicatorError(
-                    f"ranks disagree on the collective: {sorted(p.value for p in primitives)}"
-                )
-            primitive = items[0].primitive
-            if primitive is not Primitive.ALLREDUCE:
-                raise CommunicatorError(
-                    "the queued dispatcher currently serves AllReduce (the "
-                    f"training path); got {primitive.value}"
-                )
-            tensors = {item.rank: item.tensor for item in items}
-            length = len(items[0].tensor)
-            tensor_size = length * items[0].tensor.itemsize * self.byte_scale
-            strategy = self.strategy_provider(primitive, tensor_size, ranks)
-            # The dispatcher runs *inside* the simulation, so it uses the
-            # non-blocking launch form and yields on completion.
-            pending = launch_allreduce(
-                self.topology, strategy, tensors, byte_scale=self.byte_scale
+            items: Dict[int, WorkItem] = {}
+            # A round opens with the first submission; an idle service
+            # never times out.
+            self._harvest(items)
+            while not items:
+                yield self.sim.any_of([self._poll(r) for r in ranks])
+                self._harvest(items)
+            # Wait for the remaining participants — forever without a
+            # timeout, else with retry/backoff windows that reset on
+            # progress.
+            attempts = 0
+            while len(items) < len(ranks):
+                polls = [self._poll(r) for r in ranks if r not in items]
+                if self.timeout_seconds is None:
+                    yield self.sim.any_of(polls)
+                    self._harvest(items)
+                    continue
+                window = self.timeout_seconds * self.backoff_factor**attempts
+                timer = self.sim.timeout(window)
+                yield self.sim.any_of([*polls, timer])
+                collected = len(items)
+                self._harvest(items)
+                if timer.triggered and len(items) == collected:
+                    attempts += 1
+                    if attempts > self.max_retries:
+                        break
+            missing = [r for r in ranks if r not in items]
+            yield from self._execute(items, missing, attempts)
+
+    def _execute(self, items: Dict[int, WorkItem], missing: List[int], retries: int):
+        """Run one matched round, degraded if ``missing`` is non-empty."""
+        work = [items[rank] for rank in sorted(items)]
+        primitives = {item.primitive for item in work}
+        if len(primitives) != 1:
+            raise CommunicatorError(
+                f"ranks disagree on the collective: {sorted(p.value for p in primitives)}"
             )
-            yield pending.done
-            result = pending.result()
-            for item in items:
-                self.queues[item.rank].complete(item, result.outputs[item.rank])
-            self.executed += 1
+        primitive = work[0].primitive
+        if primitive is not Primitive.ALLREDUCE:
+            raise CommunicatorError(
+                "the queued dispatcher currently serves AllReduce (the "
+                f"training path); got {primitive.value}"
+            )
+        tensors = {item.rank: item.tensor for item in work}
+        active = sorted(tensors)
+        length = len(work[0].tensor)
+        tensor_size = length * work[0].tensor.itemsize * self.byte_scale
+        strategy: Strategy = self.strategy_provider(primitive, tensor_size, active)
+        # The dispatcher runs *inside* the simulation, so it uses the
+        # non-blocking launch form and yields on completion.
+        pending = launch_allreduce(
+            self.topology, strategy, tensors, byte_scale=self.byte_scale
+        )
+        yield pending.done
+        result = pending.result()
+        for item in work:
+            self._served.add(item.sequence)
+            self.queues[item.rank].complete(item, result.outputs[item.rank])
+        if missing:
+            self.degradations.append(
+                DegradedCollective(tuple(missing), self.sim.now, retries)
+            )
+            # Graceful degradation: the absent ranks still receive the
+            # partial sum (every AllReduce participant holds the same
+            # output) so training can continue without them.
+            reference = result.outputs[active[0]]
+            for rank in missing:
+                self.queues[rank].result.put((DEGRADED_SEQUENCE, reference.copy()))
+        self.executed += 1

@@ -109,3 +109,16 @@ class ShardedDataLoader:
             raise TrainingError(f"unknown workers {sorted(unknown)} in redistribution")
         self.workers = survivors
         self._assign_shards()
+
+    def readmit(self, workers: Sequence[int]) -> None:
+        """Add workers back (transient-fault rejoin) and reassign shards.
+
+        The inverse of :meth:`redistribute`: a worker that recovered from a
+        transient crash re-enters the shard partition, shrinking everyone
+        else's share while the global batch size again stays untouched.
+        """
+        joiners = sorted(set(workers))
+        if not joiners:
+            raise TrainingError("readmit needs at least one worker")
+        self.workers = sorted(set(self.workers) | set(joiners))
+        self._assign_shards()

@@ -1,0 +1,138 @@
+"""Property-based tests for the chaos subsystem and the ski-rental rule.
+
+Shared module-level environment: one 8-rank topology and one synthesized
+AllReduce strategy are built once, and every hypothesis example runs a
+fresh :class:`AdaptiveAllReduce` against them — the expensive part
+(synthesis) is amortized, the stateful part (the executor) is not reused.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import FaultPlan
+from repro.hardware import Cluster, make_homo_cluster
+from repro.relay import AdaptiveAllReduce, BreakEvenPolicy
+from repro.simulation import Simulator
+from repro.synthesis import Primitive, Synthesizer
+from repro.topology import LogicalTopology
+
+WORLD = 8
+LENGTH = 512
+
+_SIM = Simulator()
+_CLUSTER = Cluster(_SIM, make_homo_cluster(num_servers=2, gpus_per_server=4))
+_TOPOLOGY = LogicalTopology.from_cluster(_CLUSTER)
+_STRATEGY = Synthesizer(_TOPOLOGY).synthesize(
+    Primitive.ALLREDUCE, LENGTH * 8, range(WORLD)
+)
+
+
+class TestSkiRentalProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        delay=st.floats(min_value=0.0, max_value=100.0),
+        buy=st.floats(min_value=1e-6, max_value=100.0),
+    )
+    def test_two_competitive(self, delay, buy):
+        """online cost <= 2x the clairvoyant optimum, for any adversary."""
+        policy = BreakEvenPolicy()
+        assert policy.online_cost(delay, buy) <= 2 * policy.offline_optimum(delay, buy) + 1e-12
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        waited_low=st.floats(min_value=0.0, max_value=50.0),
+        extra=st.floats(min_value=0.0, max_value=50.0),
+        buy=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_decision_monotone_in_waiting(self, waited_low, extra, buy):
+        """Once the rule proceeds, more observed waiting never flips it
+        back to waiting."""
+        policy = BreakEvenPolicy()
+        if policy.should_proceed(waited_low, buy):
+            assert policy.should_proceed(waited_low + extra, buy)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        waited=st.floats(min_value=0.0, max_value=100.0),
+        buy_low=st.floats(min_value=0.0, max_value=50.0),
+        extra=st.floats(min_value=0.0, max_value=50.0),
+    )
+    def test_decision_antitone_in_buy_cost(self, waited, buy_low, extra):
+        """A cheaper buy can only make proceeding more attractive."""
+        policy = BreakEvenPolicy()
+        if policy.should_proceed(waited, buy_low + extra):
+            assert policy.should_proceed(waited, buy_low)
+
+
+class TestFaultPlanProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        world=st.integers(min_value=2, max_value=16),
+        iterations=st.integers(min_value=1, max_value=6),
+    )
+    def test_generate_same_seed_same_plan(self, seed, world, iterations):
+        a = FaultPlan.generate(seed=seed, world=world, iterations=iterations)
+        b = FaultPlan.generate(seed=seed, world=world, iterations=iterations)
+        assert a.signature() == b.signature()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        world=st.integers(min_value=2, max_value=16),
+        iterations=st.integers(min_value=1, max_value=6),
+    )
+    def test_generated_plans_are_well_formed(self, seed, world, iterations):
+        plan = FaultPlan.generate(
+            seed=seed, world=world, iterations=iterations, crash_rate=0.5
+        )
+        ranks = list(range(world))
+        for iteration in range(iterations):
+            delays = plan.ready_delays(iteration, ranks)
+            # Rank 0 never crashes and crashes are capped, so the group
+            # always has at least two live ranks.
+            alive = [rank for rank, delay in delays.items() if delay is not None]
+            assert 0 in alive
+            assert len(alive) >= 2
+
+
+class TestReadySetExactness:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        delays=st.lists(
+            st.one_of(
+                st.floats(min_value=0.0, max_value=0.05),
+                st.none(),
+            ),
+            min_size=WORLD - 1,
+            max_size=WORLD - 1,
+        ),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_allreduce_exact_under_any_ready_set(self, delays, seed):
+        """For ANY injected ready-set — stragglers, crashes, mixtures —
+        the surviving ranks' AllReduce equals the elementwise sum over the
+        contributors, bit for bit."""
+        ready = {0: 0.0}
+        for rank, delay in enumerate(delays, start=1):
+            ready[rank] = delay
+        rng = np.random.default_rng(seed)
+        inputs = {
+            rank: rng.integers(0, 64, LENGTH).astype(np.float64)
+            for rank in range(WORLD)
+        }
+        adaptive = AdaptiveAllReduce(_TOPOLOGY, seed=seed)
+        result = adaptive.run(_STRATEGY, inputs, ready)
+
+        faulty = (
+            set(result.fault_report.faulty_ranks)
+            if result.fault_report is not None
+            else set()
+        )
+        contributors = [rank for rank in range(WORLD) if rank not in faulty]
+        expected = np.zeros(LENGTH, dtype=np.float64)
+        for rank in contributors:
+            expected += inputs[rank]
+        for rank in contributors:
+            np.testing.assert_array_equal(result.outputs[rank], expected)

@@ -308,3 +308,145 @@ class TestAdaptiveAllReduce:
         samples = np.array([default_rpc_latency(rng) for _ in range(2000)])
         assert np.quantile(samples, 0.9) < 1.5e-3
         assert samples.min() > 0
+
+
+class TestFaultDetectorEdgeCases:
+    def test_zero_ready_time_degenerate(self):
+        """fastest_ready == phase1_end: the T_fault window collapses to
+        zero, so any worker not ready by phase-1 completion is late."""
+        detector = FaultDetector()
+        assert detector.threshold(fastest_ready=2.0, phase1_end=2.0) == 0.0
+        report = detector.detect({7: 2.0001}, [7], fastest_ready=2.0, phase1_end=2.0)
+        assert report.late_ranks == [7]
+        report = detector.detect({7: 2.0}, [7], fastest_ready=2.0, phase1_end=2.0)
+        assert report.survivors == [7]
+
+    def test_phase1_before_fastest_rejected(self):
+        with pytest.raises(CoordinationError):
+            FaultDetector().threshold(fastest_ready=3.0, phase1_end=2.0)
+
+    def test_exactly_at_threshold_survives(self):
+        """The deadline is inclusive: a worker ready at phase1_end +
+        T_fault exactly is a straggler, not a fault (strict > evicts)."""
+        detector = FaultDetector()
+        deadline = 3.0 + detector.threshold(fastest_ready=1.0, phase1_end=3.0)
+        report = detector.detect(
+            {5: deadline, 6: deadline + 1e-9},
+            [5, 6],
+            fastest_ready=1.0,
+            phase1_end=3.0,
+        )
+        assert report.survivors == [5]
+        assert report.late_ranks == [6]
+
+    def test_multiplier_constructor_override(self):
+        detector = FaultDetector(multiplier=2.0)
+        assert detector.threshold(fastest_ready=0.0, phase1_end=1.0) == pytest.approx(2.0)
+
+    def test_multiplier_env_override(self, monkeypatch):
+        from repro.relay.faults import ENV_FAULT_MULTIPLIER
+
+        monkeypatch.setenv(ENV_FAULT_MULTIPLIER, "3.0")
+        detector = FaultDetector()
+        assert detector.multiplier == 3.0
+        # An explicit argument still wins over the environment.
+        assert FaultDetector(multiplier=7.0).multiplier == 7.0
+
+    def test_multiplier_env_invalid_rejected(self, monkeypatch):
+        from repro.relay.faults import ENV_FAULT_MULTIPLIER
+
+        monkeypatch.setenv(ENV_FAULT_MULTIPLIER, "fast")
+        with pytest.raises(CoordinationError):
+            FaultDetector()
+
+    def test_non_positive_multiplier_rejected(self):
+        with pytest.raises(CoordinationError):
+            FaultDetector(multiplier=0.0)
+
+    def test_unreported_rank_gets_grace_not_eviction(self):
+        """Regression: a rank with NO entry in the ready map (a worker that
+        joined mid-iteration and has not negotiated yet) must not be
+        declared faulty — 'never reported' is not 'reported late'."""
+        detector = FaultDetector()
+        report = detector.detect(
+            {5: None, 6: 100.0},
+            [5, 6, 7],  # rank 7 never reported
+            fastest_ready=0.0,
+            phase1_end=1.0,
+        )
+        assert report.crashed_ranks == [5]
+        assert report.late_ranks == [6]
+        assert report.unreported_ranks == [7]
+        assert report.faulty_ranks == [5, 6]
+        assert 7 not in report.faulty_ranks
+        assert report.any_faults
+
+    def test_only_unreported_means_no_faults(self):
+        detector = FaultDetector()
+        report = detector.detect({}, [3], fastest_ready=0.0, phase1_end=1.0)
+        assert report.unreported_ranks == [3]
+        assert not report.any_faults
+
+    def test_faulty_ranks_preserve_participant_order(self):
+        """Mixed crash/late faults come back in participants order, not
+        grouped by kind — eviction notices follow rank order."""
+        detector = FaultDetector()
+        report = detector.detect(
+            {1: 100.0, 2: None, 3: 100.0},
+            [1, 2, 3],
+            fastest_ready=0.0,
+            phase1_end=1.0,
+        )
+        assert report.faulty_ranks == [1, 2, 3]
+
+
+class TestStragglerIntegration:
+    """Satellite: 1 and N-1 stragglers into an 8-rank AllReduce must be
+    bitwise-identical to the fault-free run, with relay ranks showing the
+    paper's <isActive, hasRecv, hasKernel, hasSend> behaviour."""
+
+    def run_case(self, straggler_ranks, delay=0.02, length=4096):
+        topo, synth = make_env()
+        ranks = list(range(8))
+        inputs = make_inputs(ranks, length, seed=3)
+        strategy = synth.synthesize(Primitive.ALLREDUCE, length * 8, ranks)
+
+        baseline = AdaptiveAllReduce(topo).run(
+            strategy, inputs, {r: 0.0 for r in ranks}
+        )
+        ready = {r: (delay if r in straggler_ranks else 0.0) for r in ranks}
+        result = AdaptiveAllReduce(topo).run(strategy, inputs, ready)
+        return ranks, strategy, baseline, result
+
+    def assert_bitwise_equal(self, ranks, baseline, result):
+        for rank in ranks:
+            np.testing.assert_array_equal(result.outputs[rank], baseline.outputs[rank])
+
+    def assert_relay_behavior(self, strategy, decision):
+        """Each sub-collective's behaviour tuples: relays are inactive, and
+        an inactive rank receiving nothing does nothing at all."""
+        active = set(decision.active_ranks)
+        for sc in strategy.subcollectives:
+            tuples = behavior_tuples(sc, Primitive.ALLREDUCE, active)
+            for rank, t in tuples.items():
+                assert t.is_active == (rank in active)
+                if rank in decision.relays and not t.has_recv:
+                    assert not t.has_kernel and not t.has_send
+                if t.has_kernel:
+                    assert t.has_recv or t.is_active
+
+    def test_single_straggler_bitwise_equal(self):
+        ranks, strategy, baseline, result = self.run_case({5})
+        assert result.decision.proceed
+        assert result.decision.relays == [5]
+        assert result.fault_report is None or not result.fault_report.any_faults
+        self.assert_bitwise_equal(ranks, baseline, result)
+        self.assert_relay_behavior(strategy, result.decision)
+
+    def test_n_minus_one_stragglers_bitwise_equal(self):
+        ranks, strategy, baseline, result = self.run_case(set(range(1, 8)))
+        assert result.decision.proceed
+        assert result.decision.relays == list(range(1, 8))
+        assert result.decision.active_ranks == [0]
+        self.assert_bitwise_equal(ranks, baseline, result)
+        self.assert_relay_behavior(strategy, result.decision)
