@@ -8,12 +8,17 @@ must agree event for event and bit for bit: that determinism is what makes
 a chaos failure reproducible from nothing but its seed.
 
 Run:  python examples/chaos_straggler.py
+
+With ``REPRO_TELEMETRY=1`` the run also exports its structured trace to
+``chaos_straggler.jsonl`` (lint it with
+``python -m repro.analysis --telemetry chaos_straggler.jsonl``).
 """
 
 import numpy as np
 
 from repro.chaos import ChaosRunner, CrashFault, FaultPlan, LinkFault, StragglerFault
 from repro.hardware import make_homo_cluster
+from repro.telemetry import hub, write_jsonl
 
 
 def main() -> None:
@@ -79,6 +84,15 @@ def main() -> None:
     for event in report.event_trace:
         time, kind, subject = event[0], event[1], event[2]
         print(f"  t={time:8.4f}s  {kind:18s} {subject}")
+
+    telemetry = hub()
+    if telemetry.enabled:
+        write_jsonl(telemetry, "chaos_straggler.jsonl")
+        print(
+            f"\ntelemetry: wrote chaos_straggler.jsonl "
+            f"({len(telemetry.tracer.spans)} spans, "
+            f"{len(telemetry.tracer.events)} events)"
+        )
 
 
 if __name__ == "__main__":

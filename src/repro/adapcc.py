@@ -22,7 +22,7 @@ Here the session owns a simulated cluster instead of real GPUs::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -45,6 +45,7 @@ from repro.runtime.context import ContextManager, TransmissionContext
 from repro.simulation.engine import Simulator
 from repro.synthesis.optimizer import Synthesizer, SynthesizerConfig
 from repro.synthesis.strategy import Primitive, Strategy
+from repro.telemetry.core import TelemetryHub, resolve_telemetry
 from repro.topology.detector import DetectionReport, Detector
 from repro.topology.graph import LogicalTopology
 
@@ -58,7 +59,14 @@ class AdapCCSession:
         config: Optional[SynthesizerConfig] = None,
         seed: int = 0,
         verify: Optional[bool] = None,
+        telemetry: Union[None, bool, TelemetryHub] = None,
     ):
+        #: The process-wide telemetry hub this session records into.
+        #: ``None`` defers to ``REPRO_TELEMETRY``; ``True``/``False`` flip
+        #: the current hub; a :class:`TelemetryHub` is installed globally.
+        #: Resolved before the cluster exists so the fluid network attaches
+        #: its tracing bridge at construction.
+        self.telemetry = resolve_telemetry(telemetry)
         self.sim = Simulator()
         self.cluster = Cluster(self.sim, instance_specs)
         self.config = config

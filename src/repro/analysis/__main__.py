@@ -1,6 +1,6 @@
 """``python -m repro.analysis`` — run the static analysis passes.
 
-Four passes, all on by default (select a subset with flags):
+Five passes, all on by default (select a subset with flags):
 
 * ``--source``     AST determinism/convention lint over ``src/repro``;
 * ``--strategies`` plan every backend × primitive × benchmark topology and
@@ -10,7 +10,11 @@ Four passes, all on by default (select a subset with flags):
 * ``--chaos``      replay a seeded fault plan through the chaos runner and
   lint the recorded trace: the fluid invariants must hold *through* the
   injected link faults, chaos events must be well-formed, and the run's
-  aggregation must stay bitwise exact.
+  aggregation must stay bitwise exact;
+* ``--telemetry``  with no argument, run a small instrumented collective
+  under a fresh telemetry hub and lint both the JSONL export and the
+  Chrome-trace conversion; with a path argument, lint that exported file
+  (``--telemetry run.jsonl`` / ``--telemetry run.trace.json``).
 
 Exits non-zero when any pass reports a violation, so CI can gate on it.
 """
@@ -110,7 +114,7 @@ def run_trace_pass() -> List[Violation]:
     env = BenchEnvironment(make_config([4, 4]), "adapcc")
     env.backend.verify = False
     recorder = TraceRecorder()
-    env.cluster.network.recorder = recorder
+    env.cluster.network.attach_recorder(recorder)
     inputs = {rank: np.full(1024, float(rank + 1)) for rank in env.ranks}
     strategy = env.backend.plan(Primitive.ALLREDUCE, 4 * 1024 * 1024, env.ranks)
     env.backend.run(strategy, inputs, byte_scale=4 * 1024 * 1024 / (1024 * 8.0))
@@ -154,6 +158,56 @@ def run_chaos_pass(seed: int = 23) -> List[Violation]:
     return violations
 
 
+def run_telemetry_pass(target=None) -> List[Violation]:
+    """Lint exported telemetry — a given file, or a fresh self-check run.
+
+    With ``target`` a path, lint that file (JSONL run or Chrome trace,
+    detected by content). With ``target`` true-ish-but-not-a-path (the
+    bare ``--telemetry`` flag), install a fresh enabled hub, run one
+    adaptive AllReduce with a straggler so every layer emits, and lint
+    both export formats in memory; the previous hub is restored after.
+    """
+    from repro.analysis.lint_telemetry import (
+        lint_chrome_trace,
+        lint_telemetry_file,
+        lint_telemetry_run,
+    )
+
+    if isinstance(target, str):
+        violations = lint_telemetry_file(target)
+        print(f"     telemetry: linted {target}")
+        return violations
+
+    import numpy as np
+
+    from repro.adapcc import AdapCCSession
+    from repro.hardware.presets import make_config
+    from repro.telemetry.core import TelemetryHub, hub, set_hub
+    from repro.telemetry.export import parse_jsonl, to_chrome_trace, to_jsonl
+
+    previous = hub()
+    fresh = TelemetryHub(enabled=True)
+    set_hub(fresh)
+    try:
+        session = AdapCCSession(make_config([2, 2], [2, 2]))
+        session.init()
+        session.setup()
+        tensors = {rank: np.full(256, float(rank + 1)) for rank in range(4)}
+        ready = {0: 0.0, 1: 0.0, 2: 0.0, 3: 0.5}
+        session.allreduce(tensors, ready_times=ready)
+        jsonl = to_jsonl(fresh)
+        chrome = to_chrome_trace(fresh)
+    finally:
+        set_hub(previous)
+    violations = lint_telemetry_run(parse_jsonl(jsonl))
+    violations.extend(lint_chrome_trace(chrome))
+    print(
+        f"     telemetry: self-check exported {len(fresh.tracer.spans)} spans, "
+        f"{len(fresh.tracer.events)} events; linted JSONL + Chrome forms"
+    )
+    return violations
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -165,8 +219,23 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--traces", action="store_true", help="run only the trace lint")
     parser.add_argument("--chaos", action="store_true", help="run only the chaos lint")
+    parser.add_argument(
+        "--telemetry",
+        nargs="?",
+        const=True,
+        default=False,
+        metavar="FILE",
+        help="run only the telemetry lint; optionally against an exported "
+        "JSONL run or Chrome trace file",
+    )
     args = parser.parse_args(argv)
-    selected = [args.source, args.strategies, args.traces, args.chaos]
+    selected = [
+        args.source,
+        args.strategies,
+        args.traces,
+        args.chaos,
+        args.telemetry is not False,
+    ]
     run_all = not any(selected)
 
     ok = True
@@ -178,6 +247,9 @@ def main(argv=None) -> int:
         ok &= _report("trace lint", run_trace_pass())
     if run_all or args.chaos:
         ok &= _report("chaos lint", run_chaos_pass())
+    if run_all or args.telemetry is not False:
+        target = args.telemetry if isinstance(args.telemetry, str) else None
+        ok &= _report("telemetry lint", run_telemetry_pass(target))
     return 0 if ok else 1
 
 

@@ -5,13 +5,21 @@ from repro.bench.harness import (
     measure_algorithm_bandwidth,
     measure_training,
 )
-from repro.bench.report import Series, Table, geometric_mean
+from repro.bench.report import (
+    Series,
+    Table,
+    bench_dir,
+    geometric_mean,
+    write_bench_payload,
+)
 
 __all__ = [
     "BenchEnvironment",
     "Series",
     "Table",
+    "bench_dir",
     "geometric_mean",
     "measure_algorithm_bandwidth",
     "measure_training",
+    "write_bench_payload",
 ]

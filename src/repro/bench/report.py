@@ -1,14 +1,59 @@
-"""Table/series formatting for benchmark output.
+"""Table/series formatting and ``BENCH_*.json`` payloads for benchmarks.
 
 Each benchmark prints the same rows/series its paper figure reports; these
-helpers keep the formatting uniform and parseable.
+helpers keep the formatting uniform and parseable. When ``REPRO_BENCH_DIR``
+is set, the measurement helpers additionally persist one machine-readable
+``BENCH_<name>.json`` payload per measurement through
+:func:`write_bench_payload` — the perf-trajectory record (iteration time,
+bytes on the busiest link, relay-phase counts, telemetry metrics snapshot)
+that CI and the ROADMAP's optimization PRs diff across commits.
 """
 
 from __future__ import annotations
 
+import json
 import math
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+#: Environment variable naming the directory BENCH payloads are written to.
+#: Unset (the default) disables payload emission entirely.
+ENV_BENCH_DIR = "REPRO_BENCH_DIR"
+
+#: Per-process count of payloads written under each name, so repeated
+#: measurements with the same derived name get deterministic ``_2``/``_3``
+#: suffixes instead of silently overwriting one another.
+_payload_counts: Dict[str, int] = {}
+
+
+def bench_dir() -> Optional[Path]:
+    """The BENCH payload directory, or ``None`` when emission is off."""
+    value = os.environ.get(ENV_BENCH_DIR, "")
+    return Path(value) if value else None
+
+
+def write_bench_payload(name: str, payload: Dict) -> Optional[Path]:
+    """Persist one measurement payload as ``BENCH_<name>.json``.
+
+    No-op returning ``None`` unless ``REPRO_BENCH_DIR`` is set. The JSON is
+    key-sorted so same-seed runs write byte-identical payloads, and a
+    repeated ``name`` within one process gets a numeric suffix rather than
+    clobbering the earlier measurement.
+    """
+    directory = bench_dir()
+    if directory is None:
+        return None
+    directory.mkdir(parents=True, exist_ok=True)
+    count = _payload_counts.get(name, 0) + 1
+    _payload_counts[name] = count
+    suffix = "" if count == 1 else f"_{count}"
+    path = directory / f"BENCH_{name}{suffix}.json"
+    path.write_text(
+        json.dumps(payload, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    return path
 
 
 def geometric_mean(values: Sequence[float]) -> float:

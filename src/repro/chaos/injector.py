@@ -35,6 +35,7 @@ from repro.errors import ChaosError
 from repro.hardware.cluster import Cluster
 from repro.runtime.queues import WorkItem, WorkQueues
 from repro.simulation.records import TraceRecorder
+from repro.telemetry.core import hub as telemetry_hub
 
 
 class ChaosInjector:
@@ -65,10 +66,19 @@ class ChaosInjector:
 
     def record(self, kind: str, subject: str, *details, **payload) -> None:
         """Append one chaos event to the deterministic trace (and mirror it
-        into the attached recorder, if any)."""
+        into the attached recorder and the telemetry hub, if any)."""
         self.trace.append((self.sim.now, kind, subject, *details))
         if self.recorder is not None:
             self.recorder.record(self.sim.now, kind, subject, **payload)
+        telemetry = telemetry_hub()
+        if telemetry.enabled:
+            telemetry.instant(
+                kind, self.sim.now, category="chaos", track="chaos",
+                subject=subject, **payload,
+            )
+            telemetry.metrics.counter(
+                "chaos_events_total", "fault activations injected"
+            ).inc(kind=kind)
 
     # -- ready-time faults -----------------------------------------------------
 

@@ -106,7 +106,7 @@ class ChaosRunner:
         self.sim = Simulator()
         self.cluster = Cluster(self.sim, specs)
         if recorder is not None:
-            self.cluster.network.recorder = recorder
+            self.cluster.network.attach_recorder(recorder)
         self.topology = LogicalTopology.from_cluster(self.cluster)
         self.synthesizer = Synthesizer(self.topology)
         self.plan = plan

@@ -90,3 +90,8 @@ class TrainingError(ReproError):
 
 class ChaosError(ReproError):
     """Malformed fault plans or impossible injection requests."""
+
+
+class TelemetryError(ReproError):
+    """Telemetry misuse: bad metric definitions, span lifecycle errors,
+    or malformed trace files."""

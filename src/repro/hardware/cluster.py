@@ -206,6 +206,22 @@ class Cluster:
         """Inbound NIC link of an instance."""
         return self._nic_ingress[(instance_id, nic_idx)]
 
+    def all_links(self) -> List[FluidLink]:
+        """Every fluid link of the cluster, in deterministic (name) order.
+
+        Observability helper: the bench snapshot and telemetry summaries
+        rank links by :attr:`~repro.simulation.fluid.FluidLink.bytes_carried`
+        to find the communication bottleneck.
+        """
+        links: List[FluidLink] = [
+            *self._nvlinks.values(),
+            *self._pcie_buses.values(),
+            *self._nic_egress.values(),
+            *self._nic_ingress.values(),
+            *self._nic_duplex.values(),
+        ]
+        return sorted(links, key=lambda link: link.name)
+
     # -- data-plane paths --------------------------------------------------------
 
     def gpu_path(self, src_rank: int, dst_rank: int) -> List[FluidLink]:

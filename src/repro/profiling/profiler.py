@@ -22,7 +22,17 @@ from typing import Dict, List, Tuple
 from repro.network.cost_model import AlphaBeta, fit_alpha_beta
 from repro.profiling.probes import DEFAULT_PROBE_PLAN, ProbePlan
 from repro.profiling.rounds import inter_instance_rounds
+from repro.telemetry.core import hub as telemetry_hub
 from repro.topology.graph import Edge, EdgeKind, LogicalTopology, NodeId, nic_node
+
+
+def _fit_residual(measurements, fitted: AlphaBeta) -> float:
+    """RMS residual of the α–β fit over the raw probe measurements."""
+    errors = []
+    for n, piece, elapsed in measurements:
+        predicted = n * fitted.alpha + n * piece * fitted.beta
+        errors.append((elapsed - predicted) ** 2)
+    return (sum(errors) / len(errors)) ** 0.5 if errors else 0.0
 
 
 @dataclass
@@ -66,6 +76,16 @@ class Profiler:
         """Generator form, for embedding in a training-loop process."""
         sim = self.topology.cluster.sim
         result = ProfileResult(started_at=sim.now)
+        telemetry = telemetry_hub()
+        pass_span = None
+        if telemetry.enabled:
+            pass_span = telemetry.begin(
+                "profile-pass",
+                sim.now,
+                category="profile",
+                track="profiler",
+                pass_index=self.passes_completed,
+            )
 
         # Stage 1: intra-instance links, all instances in parallel.
         intra = [
@@ -89,6 +109,12 @@ class Profiler:
         result.finished_at = sim.now
         self._apply(result)
         self.passes_completed += 1
+        if pass_span is not None:
+            pass_span.args["edges_profiled"] = len(result.estimates)
+            telemetry.end(pass_span, sim.now)
+            telemetry.metrics.counter(
+                "profiler_passes_total", "completed profiling passes"
+            ).inc()
         return result
 
     # -- internals ------------------------------------------------------------------
@@ -130,6 +156,19 @@ class Profiler:
                 measurements.append((1, n * piece, sim.now - start))
             fitted = fit_alpha_beta(measurements)
             result.estimates[(edge.src, edge.dst)] = fitted
+            telemetry = telemetry_hub()
+            if telemetry.enabled:
+                telemetry.instant(
+                    "alpha-beta-fit",
+                    sim.now,
+                    category="profile",
+                    track="profiler",
+                    edge=f"{edge.src}->{edge.dst}",
+                    alpha=fitted.alpha,
+                    beta=fitted.beta,
+                    residual=_fit_residual(measurements, fitted),
+                    samples=len(measurements),
+                )
 
             # Parallel-aggregate pass.
             start = sim.now

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.analysis.config import verification_enabled
 from repro.errors import CoordinationError
+from repro.relay.behavior import behavior_tuples
 from repro.relay.faults import FaultDetector, FaultReport
 from repro.relay.ski_rental import (
     BreakEvenPolicy,
@@ -29,6 +30,7 @@ from repro.relay.ski_rental import (
 )
 from repro.runtime.collectives import run_allreduce
 from repro.synthesis.strategy import Primitive, Strategy
+from repro.telemetry.core import hub as telemetry_hub
 from repro.topology.graph import LogicalTopology
 
 #: Default RPC latency model: lognormal with ~0.6 ms median, matching the
@@ -214,6 +216,9 @@ class AdaptiveAllReduce:
         self.iterations_run += 1
         for rank in decision.relays:
             self.relay_counts[rank] = self.relay_counts.get(rank, 0) + 1
+        telemetry = telemetry_hub()
+        if telemetry.enabled:
+            self._record_decision(telemetry, strategy, decision, ready_delays, started)
 
         if not decision.proceed:
             # Everyone became ready while waiting: one full collective.
@@ -242,6 +247,16 @@ class AdaptiveAllReduce:
         # missed the window.
         sim.run(until=started + decision.trigger_time + rpc)
         phase1_start = sim.now
+        phase1_span = None
+        if telemetry.enabled:
+            phase1_span = telemetry.begin(
+                "relay-phase1",
+                phase1_start,
+                category="relay",
+                track="relay",
+                active=len(decision.active_ranks),
+                relays=len(decision.relays),
+            )
         phase1_ready = {
             rank: max(0.0, (started + delay) - sim.now)
             for rank, delay in ready_delays.items()
@@ -263,6 +278,12 @@ class AdaptiveAllReduce:
             late_ranks=late_candidates,
         )
         phase1_end = sim.now
+        if phase1_span is not None:
+            phase1_span.args["late_joined"] = sorted(phase1.included_chunks)
+            telemetry.end(phase1_span, phase1_end)
+            telemetry.metrics.counter(
+                "relay_phases_total", "phase-1/phase-2 relay executions"
+            ).inc(phase="phase1")
 
         # Fault check: who will still be absent T_fault after phase 1?
         fastest_ready = started + min(
@@ -278,6 +299,20 @@ class AdaptiveAllReduce:
 
         late_survivors = [r for r in decision.relays if report is None or r in report.survivors]
         faulty = list(report.faulty_ranks) if report else []
+        if telemetry.enabled and faulty:
+            telemetry.instant(
+                "fault-detected",
+                sim.now,
+                category="relay",
+                track="relay",
+                faulty=sorted(faulty),
+                survivors=sorted(report.survivors),
+                threshold_seconds=report.threshold_seconds,
+                detected_at=report.detected_at,
+            )
+            telemetry.metrics.counter(
+                "faults_detected_total", "workers declared faulty and excluded"
+            ).inc(amount=float(len(faulty)))
 
         phase2_seconds = 0.0
         if late_survivors:
@@ -306,6 +341,16 @@ class AdaptiveAllReduce:
                     )
                 else:
                     remaining_fraction = 1.0
+            phase2_span = None
+            if telemetry.enabled:
+                phase2_span = telemetry.begin(
+                    "relay-phase2",
+                    sim.now,
+                    category="relay",
+                    track="relay",
+                    late_survivors=sorted(late_survivors),
+                    remaining_fraction=remaining_fraction,
+                )
             phase2 = run_allreduce(
                 self.topology,
                 strategy,
@@ -316,6 +361,11 @@ class AdaptiveAllReduce:
                 max_chunks=max_chunks,
             )
             phase2_seconds = phase2.duration
+            if phase2_span is not None:
+                telemetry.end(phase2_span, sim.now)
+                telemetry.metrics.counter(
+                    "relay_phases_total", "phase-1/phase-2 relay executions"
+                ).inc(phase="phase2")
             outputs = {
                 rank: phase1.outputs[rank] + phase2.outputs[rank]
                 for rank in strategy.participants
@@ -343,6 +393,47 @@ class AdaptiveAllReduce:
             phase2_seconds=phase2_seconds,
             rpc_latency=rpc,
         )
+
+    def _record_decision(
+        self,
+        telemetry,
+        strategy: Strategy,
+        decision: Decision,
+        ready_delays: Dict[int, Optional[float]],
+        started: float,
+    ) -> None:
+        """Emit one ski-rental-decision instant with the full verdict context."""
+        behavior = {}
+        if decision.relays:
+            # The behaviour tuples every GPU adopts on sub-collective 0's
+            # graph under this ready-set (Fig. 7) — enough to reconstruct
+            # who relays, who aggregates, who idles.
+            behavior = {
+                str(rank): list(bt.as_tuple())
+                for rank, bt in behavior_tuples(
+                    strategy.subcollectives[0],
+                    strategy.primitive,
+                    decision.active_ranks,
+                ).items()
+            }
+        telemetry.instant(
+            "ski-rental-decision",
+            started + decision.trigger_time,
+            category="relay",
+            track="relay",
+            verdict="relay" if decision.proceed else "wait",
+            trigger_time=decision.trigger_time,
+            waited_seconds=decision.waited_seconds,
+            buy_cost_seconds=decision.buy_cost_seconds,
+            break_even_cycle_seconds=self.coordinator.policy.cycle_seconds,
+            active_ranks=decision.active_ranks,
+            relays=decision.relays,
+            ready_delays={str(r): d for r, d in sorted(ready_delays.items())},
+            behavior=behavior,
+        )
+        telemetry.metrics.counter(
+            "ski_rental_decisions_total", "coordinator wait-vs-relay verdicts"
+        ).inc(verdict="relay" if decision.proceed else "wait")
 
     def relay_probabilities(self) -> Dict[int, float]:
         """Per-rank probability of having been chosen as a relay (Fig. 15)."""

@@ -38,6 +38,7 @@ from repro.runtime.partition import (
     partition_ranges,
 )
 from repro.synthesis.strategy import Flow, Primitive, Strategy
+from repro.telemetry.core import hub as telemetry_hub
 from repro.topology.graph import LogicalTopology
 
 
@@ -115,6 +116,38 @@ class _Run:
             rank: self.sim.timeout(self.ready_at[rank] - self.started)
             for rank in strategy.participants
         }
+        self._span = None
+
+    def begin_trace(self, name: str) -> "_Run":
+        """Open one ``category="collective"`` span for this invocation."""
+        telemetry = telemetry_hub()
+        if telemetry.enabled:
+            self._span = telemetry.begin(
+                name,
+                self.started,
+                category="collective",
+                track="collectives",
+                participants=len(self.strategy.participants),
+                active=len(self.active),
+                bytes=self.length * self.itemsize,
+                subcollectives=len(self.strategy.subcollectives),
+            )
+        return self
+
+    def end_trace(self, finished: float) -> None:
+        """Close the collective span and record latency metrics."""
+        span = self._span
+        if span is None:
+            return
+        self._span = None
+        telemetry = telemetry_hub()
+        telemetry.end(span, finished)
+        telemetry.metrics.histogram(
+            "collective_seconds", "wall time of executed collectives"
+        ).observe(finished - self.started, primitive=span.name)
+        telemetry.metrics.counter(
+            "collectives_total", "collective invocations executed"
+        ).inc(primitive=span.name)
 
     def ready_event(self, rank: int):
         """Event that fires when ``rank``'s tensor becomes available."""
@@ -185,6 +218,7 @@ def run_reduce(
     root_rank = strategy.subcollectives[0].root.index
     if root_rank not in run.active:
         raise CommunicatorError("the reduce root must be an active rank")
+    run.begin_trace("reduce")
 
     output = np.zeros(run.length, dtype=run.dtype)
     pipelines = []
@@ -209,6 +243,7 @@ def run_reduce(
     # The final aggregation also needs the root's own tensor.
     events.append(run.ready_event(root_rank))
     finished = run.finish(events)
+    run.end_trace(finished)
 
     for sc, start, end, pipeline in pipelines:
         root_node = sc.root
@@ -245,6 +280,7 @@ def run_broadcast(
     if strategy.primitive is not Primitive.BROADCAST:
         raise CommunicatorError(f"run_broadcast got a {strategy.primitive.value} strategy")
     run = _Run(topology, strategy, inputs, None, ready_times, byte_scale, max_chunks)
+    run.begin_trace("broadcast")
     root_rank = strategy.subcollectives[0].root.index
 
     pipelines = []
@@ -266,6 +302,7 @@ def run_broadcast(
         events.append(pipeline.start())
         pipelines.append((sc, start, end, pipeline))
     finished = run.finish(events)
+    run.end_trace(finished)
 
     outputs: Dict[int, np.ndarray] = {
         rank: np.zeros(run.length, dtype=run.dtype) for rank in strategy.participants
@@ -309,8 +346,10 @@ def run_allreduce(
     if strategy.primitive is not Primitive.ALLREDUCE:
         raise CommunicatorError(f"run_allreduce got a {strategy.primitive.value} strategy")
     run = _Run(topology, strategy, inputs, active_ranks, ready_times, byte_scale, max_chunks)
+    run.begin_trace("allreduce")
     events, stages = _build_allreduce(run, strategy, inputs, pipeline_stages, late_ranks)
     finished = run.finish(events)
+    run.end_trace(finished)
     outputs = _collect_allreduce_outputs(run, strategy, inputs, stages)
     return CollectiveResult(
         outputs=outputs,
@@ -518,8 +557,10 @@ def launch_allreduce(
             f"launch_allreduce got a {strategy.primitive.value} strategy"
         )
     run = _Run(topology, strategy, inputs, active_ranks, ready_times, byte_scale, max_chunks)
+    run.begin_trace("allreduce")
     events, stages = _build_allreduce(run, strategy, inputs, pipeline_stages, late_ranks)
     done = run.sim.all_of(list(events))
+    done.add_callback(lambda _evt: run.end_trace(run.sim.now))
 
     def finalize() -> Dict[int, np.ndarray]:
         return _collect_allreduce_outputs(run, strategy, inputs, stages)
@@ -546,6 +587,7 @@ def run_allgather(
     if strategy.primitive is not Primitive.ALLGATHER:
         raise CommunicatorError(f"run_allgather got a {strategy.primitive.value} strategy")
     run = _Run(topology, strategy, inputs, None, ready_times, byte_scale, max_chunks)
+    run.begin_trace("allgather")
     ranks = sorted(strategy.participants)
     offsets = {rank: pos * run.length for pos, rank in enumerate(ranks)}
 
@@ -568,6 +610,7 @@ def run_allgather(
         events.append(pipeline.start())
         pipelines.append((sc, pipeline))
     finished = run.finish(events)
+    run.end_trace(finished)
 
     total = run.length * len(ranks)
     outputs = {rank: np.zeros(total, dtype=run.dtype) for rank in ranks}
@@ -604,6 +647,7 @@ def run_reduce_scatter(
             f"run_reduce_scatter got a {strategy.primitive.value} strategy"
         )
     run = _Run(topology, strategy, inputs, active_ranks, ready_times, byte_scale, max_chunks)
+    run.begin_trace("reduce_scatter")
 
     pipelines = []
     events = []
@@ -626,6 +670,7 @@ def run_reduce_scatter(
         events.append(run.ready_event(sc.root.index))
         pipelines.append((sc, start, end, pipeline))
     finished = run.finish(events)
+    run.end_trace(finished)
 
     outputs: Dict[int, np.ndarray] = {}
     for sc, start, end, pipeline in pipelines:
@@ -666,6 +711,7 @@ def run_alltoall(
         raise CommunicatorError(
             f"AlltoAll needs tensor length divisible by world size ({run.length} % {world})"
         )
+    run.begin_trace("alltoall")
     block = run.length // world
     position = {rank: pos for pos, rank in enumerate(ranks)}
 
@@ -705,6 +751,7 @@ def run_alltoall(
         events.append(pipeline.start())
         pipelines.append((sc, sub_start, sub_end, pipeline))
     finished = run.finish(events)
+    run.end_trace(finished)
 
     outputs = {rank: np.zeros(run.length, dtype=run.dtype) for rank in ranks}
     for rank in ranks:

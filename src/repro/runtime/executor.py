@@ -31,6 +31,7 @@ from repro.analysis.config import verification_enabled
 from repro.errors import CommunicatorError
 from repro.simulation.engine import Event, Simulator
 from repro.synthesis.strategy import Flow
+from repro.telemetry.core import hub as telemetry_hub
 from repro.topology.graph import LogicalTopology, NodeId, NodeKind
 
 UnitKey = Tuple
@@ -96,6 +97,11 @@ class ChunkPipeline:
         self._slots: Dict[SlotKey, Slot] = {}
         self._published: set = set()
         self._started = False
+        # Resolved once per pipeline: None when telemetry is off, so the
+        # per-chunk hot paths below pay a single identity check and
+        # allocate no spans.
+        _hub = telemetry_hub()
+        self._telemetry = _hub if _hub.enabled else None
         #: Flow indices whose data joins *opportunistically*: a late-ready
         #: relay's chunk k is folded into the aggregation at its source
         #: node iff it is ready when chunk k's kernel runs (Sec. IV-C:
@@ -235,12 +241,27 @@ class ChunkPipeline:
     def _sender(self, i: NodeId, j: NodeId, unit: UnitKey):
         """Stream chunks of one unit across one edge, in order."""
         edge = self.topology.edge(i, j)
+        telemetry = self._telemetry
         for k in range(self.num_chunks):
             slot_in = self.slot(unit, i, k)
             yield slot_in.event
+            if telemetry is not None:
+                span = telemetry.begin(
+                    f"{self.tag}:send",
+                    self.sim.now,
+                    category="chunk",
+                    track=f"link:{i}->{j}",
+                    chunk=k,
+                    bytes=self.chunk_bytes[k],
+                )
             yield self.network.transfer(
                 edge.fluid_links, self.chunk_bytes[k], tag=f"{self.tag}:{i}->{j}"
             )
+            if telemetry is not None:
+                telemetry.end(span, self.sim.now)
+                telemetry.metrics.counter(
+                    "chunks_sent_total", "chunks streamed across logical edges"
+                ).inc(stage=self.tag.split(":", 1)[0])
             out_slot = self.slot(unit, j, k)
             if not out_slot.event.triggered:
                 out_slot.set(slot_in.payload)
@@ -284,7 +305,23 @@ class ChunkPipeline:
                 for part in parts[1:]:
                     total += part
                 if self.kernel_enabled and gpu is not None:
+                    telemetry = self._telemetry
+                    if telemetry is not None:
+                        span = telemetry.begin(
+                            f"{self.tag}:reduce",
+                            self.sim.now,
+                            category="reduce",
+                            track=f"gpu:{node.index}",
+                            chunk=k,
+                            bytes=self.chunk_bytes[k],
+                            inputs=len(parts),
+                        )
                     yield self.sim.timeout(gpu.spec.reduce_kernel_time(self.chunk_bytes[k]))
+                    if telemetry is not None:
+                        telemetry.end(span, self.sim.now)
+                        telemetry.metrics.counter(
+                            "reduce_kernels_total", "aggregation kernels launched"
+                        ).inc()
             else:
                 total = parts[0]  # single unit: relay without a kernel
             self.slot(out_unit, node, k).set(total)

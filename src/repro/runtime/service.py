@@ -35,6 +35,7 @@ from repro.errors import CommunicatorError
 from repro.runtime.collectives import launch_allreduce
 from repro.runtime.queues import WorkItem, WorkQueues
 from repro.synthesis.strategy import Primitive, Strategy
+from repro.telemetry.core import hub as telemetry_hub
 from repro.topology.graph import LogicalTopology
 
 #: Sequence number used when delivering a degraded (partial) result to a
@@ -189,6 +190,21 @@ class CollectiveService:
                 self._harvest(items)
                 if timer.triggered and len(items) == collected:
                     attempts += 1
+                    telemetry = telemetry_hub()
+                    if telemetry.enabled:
+                        telemetry.instant(
+                            "service-retry",
+                            self.sim.now,
+                            category="service",
+                            track="service",
+                            attempt=attempts,
+                            window_seconds=window,
+                            waiting_on=[r for r in ranks if r not in items],
+                        )
+                        telemetry.metrics.counter(
+                            "service_retries_total",
+                            "dispatcher timeout windows that expired silently",
+                        ).inc()
                     if attempts > self.max_retries:
                         break
             missing = [r for r in ranks if r not in items]
@@ -223,7 +239,22 @@ class CollectiveService:
         for item in work:
             self._served.add(item.sequence)
             self.queues[item.rank].complete(item, result.outputs[item.rank])
+        telemetry = telemetry_hub()
+        if telemetry.enabled:
+            telemetry.metrics.counter(
+                "service_rounds_total", "collective rounds dispatched"
+            ).inc(outcome="degraded" if missing else "complete")
         if missing:
+            if telemetry.enabled:
+                telemetry.instant(
+                    "service-degraded",
+                    self.sim.now,
+                    category="service",
+                    track="service",
+                    missing_ranks=list(missing),
+                    retries=retries,
+                    active=len(active),
+                )
             self.degradations.append(
                 DegradedCollective(tuple(missing), self.sim.now, retries)
             )

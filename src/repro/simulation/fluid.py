@@ -112,13 +112,80 @@ class FluidNetwork:
         self._timer_generation = 0
         self._flush_scheduled = False
         self.completed_transfers = 0
-        #: Optional :class:`repro.simulation.records.TraceRecorder`; when
-        #: attached, the network emits ``net-flow-start``/``net-flow-end``/
-        #: ``net-flow-cancel`` events and a ``net-rates`` allocation
-        #: snapshot per recompute instant, which
+        #: Attached observers implementing the recorder protocol —
+        #: ``record(time, kind, subject, **payload)``, usually
+        #: :class:`repro.simulation.records.TraceRecorder`. The network
+        #: emits ``net-flow-start``/``net-flow-end``/``net-flow-cancel``
+        #: events to every recorder, and a ``net-rates`` allocation
+        #: snapshot per recompute instant to recorders that want it
+        #: (``wants_rates`` attribute, default true), which
         #: :mod:`repro.analysis.lint_trace` checks for capacity and
-        #: fairness invariants.
-        self.recorder = None
+        #: fairness invariants. Use :meth:`attach_recorder` /
+        #: :meth:`detach_recorder`; the ``recorder`` property remains as a
+        #: single-recorder compatibility view.
+        self._recorders: List = []
+        self._wants_rates = False
+        # Telemetry reuses the same protocol rather than adding a second
+        # hook: when the process-wide hub is enabled, every network traces
+        # its flows as per-link spans (see repro.telemetry.bridge).
+        from repro.telemetry.bridge import network_recorder
+
+        telemetry = network_recorder()
+        if telemetry is not None:
+            self.attach_recorder(telemetry)
+
+    # -- recorder attachment -------------------------------------------------
+
+    def attach_recorder(self, recorder) -> None:
+        """Attach one recorder-protocol observer (idempotent)."""
+        if recorder is None:
+            raise SimulationError("attach_recorder(None); use detach_recorder instead")
+        if recorder not in self._recorders:
+            self._recorders.append(recorder)
+        self._wants_rates = any(
+            getattr(rec, "wants_rates", True) for rec in self._recorders
+        )
+
+    def detach_recorder(self, recorder) -> None:
+        """Detach a previously attached recorder (missing is a no-op)."""
+        if recorder in self._recorders:
+            self._recorders.remove(recorder)
+        self._wants_rates = any(
+            getattr(rec, "wants_rates", True) for rec in self._recorders
+        )
+
+    @property
+    def recorder(self):
+        """Compatibility view: the first attached *lint* recorder, if any.
+
+        Telemetry recorders (``wants_rates = False``) are skipped so code
+        that reads ``network.recorder`` sees what it attached, not the
+        hub's bridge.
+        """
+        for rec in self._recorders:
+            if getattr(rec, "wants_rates", True):
+                return rec
+        return None
+
+    @recorder.setter
+    def recorder(self, recorder) -> None:
+        """Replace all attached lint recorders (``None`` detaches them).
+
+        Telemetry attachments survive: assigning a recorder for one run
+        must not silently disable tracing, and vice versa.
+        """
+        self._recorders = [
+            rec for rec in self._recorders if not getattr(rec, "wants_rates", True)
+        ]
+        if recorder is not None:
+            self._recorders.append(recorder)
+        self._wants_rates = any(
+            getattr(rec, "wants_rates", True) for rec in self._recorders
+        )
+
+    def _emit(self, kind: str, subject: str, **payload) -> None:
+        for rec in self._recorders:
+            rec.record(self.sim.now, kind, subject, **payload)
 
     # -- public API ----------------------------------------------------------
 
@@ -167,9 +234,8 @@ class FluidNetwork:
             raise SimulationError("cancel() of a transfer that is not active")
         self._settle_progress()
         self._active.remove(transfer)
-        if self.recorder is not None:
-            self.recorder.record(
-                self.sim.now,
+        if self._recorders:
+            self._emit(
                 "net-flow-cancel",
                 f"flow{transfer.id}",
                 flow=transfer.id,
@@ -203,9 +269,8 @@ class FluidNetwork:
     def _activate(self, transfer: Transfer) -> None:
         self._settle_progress()
         transfer.start_time = self.sim.now
-        if self.recorder is not None:
-            self.recorder.record(
-                self.sim.now,
+        if self._recorders:
+            self._emit(
                 "net-flow-start",
                 f"flow{transfer.id}",
                 flow=transfer.id,
@@ -215,9 +280,8 @@ class FluidNetwork:
         if transfer.remaining <= _DONE_EPS:
             transfer.finish_time = self.sim.now
             self.completed_transfers += 1
-            if self.recorder is not None:
-                self.recorder.record(
-                    self.sim.now,
+            if self._recorders:
+                self._emit(
                     "net-flow-end",
                     f"flow{transfer.id}",
                     flow=transfer.id,
@@ -300,8 +364,11 @@ class FluidNetwork:
         self._record_snapshot()
 
     def _record_snapshot(self) -> None:
-        """Emit one ``net-rates`` allocation snapshot (recorder attached only)."""
-        if self.recorder is None:
+        """Emit one ``net-rates`` allocation snapshot.
+
+        Built only when some attached recorder wants it (telemetry-only
+        attachments skip the cost of flattening the incidence lists)."""
+        if not self._wants_rates:
             return
         links: Dict[int, FluidLink] = {}
         flows = []
@@ -311,16 +378,15 @@ class FluidNetwork:
                 links[link.id] = link
                 incidence.append((link.id, mult))
             flows.append((t.id, t.tag, t.rate, t.remaining, tuple(sorted(incidence))))
-        self.recorder.record(
-            self.sim.now,
-            "net-rates",
-            "network",
-            flows=flows,
-            links=[
-                (link.id, link.name, link.capacity, link.per_stream_cap)
-                for _lid, link in sorted(links.items())
-            ],
-        )
+        link_rows = [
+            (link.id, link.name, link.capacity, link.per_stream_cap)
+            for _lid, link in sorted(links.items())
+        ]
+        for rec in self._recorders:
+            if getattr(rec, "wants_rates", True):
+                rec.record(
+                    self.sim.now, "net-rates", "network", flows=flows, links=link_rows
+                )
 
     def _complete_finished(self) -> None:
         finished = [t for t in self._active if t.remaining <= _DONE_EPS]
@@ -330,9 +396,8 @@ class FluidNetwork:
             self._active.remove(t)
             t.finish_time = self.sim.now
             self.completed_transfers += 1
-            if self.recorder is not None:
-                self.recorder.record(
-                    self.sim.now,
+            if self._recorders:
+                self._emit(
                     "net-flow-end",
                     f"flow{t.id}",
                     flow=t.id,

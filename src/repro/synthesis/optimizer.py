@@ -32,6 +32,7 @@ from repro.synthesis.routing import (
     reduce_flows,
 )
 from repro.synthesis.strategy import Flow, Primitive, Strategy, SubCollective
+from repro.telemetry.core import hub as telemetry_hub
 from repro.topology.graph import LogicalTopology, gpu_node
 
 
@@ -129,6 +130,33 @@ class Synthesizer:
             raise SynthesisError(f"unsupported primitive {primitive}")
 
         self.last_report.solve_seconds = time.perf_counter() - started
+        telemetry = telemetry_hub()
+        if telemetry.enabled:
+            # Recorded at the simulator's current instant: synthesis is
+            # offline and does not advance simulated time, so the decision
+            # pins to the moment the strategy becomes available.
+            telemetry.instant(
+                "synthesis-decision",
+                self.topology.cluster.sim.now,
+                category="synthesis",
+                track="synthesizer",
+                primitive=primitive.value,
+                participants=len(participants),
+                tensor_bytes=tensor_size,
+                family=strategy.routing_family,
+                objective=strategy.predicted_time,
+                chunk_bytes=strategy.subcollectives[0].chunk_size,
+                subcollectives=len(strategy.subcollectives),
+                candidates_evaluated=self.last_report.candidates_evaluated,
+                # solve_seconds is wall-clock and deliberately NOT recorded:
+                # exports must stay byte-identical across same-seed runs.
+                family_objectives=dict(
+                    sorted(self.last_report.family_objectives.items())
+                ),
+            )
+            telemetry.metrics.counter(
+                "synthesis_decisions_total", "strategies synthesized"
+            ).inc(primitive=primitive.value)
         return strategy
 
     # -- per-primitive synthesis ---------------------------------------------------

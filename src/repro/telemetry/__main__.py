@@ -1,0 +1,168 @@
+"""``python -m repro.telemetry`` — inspect and convert exported runs.
+
+Two subcommands:
+
+* ``summarize <run.jsonl>`` — per-collective latency table, link
+  utilization table, ski-rental decision table, and a chronological
+  decision log (synthesis choices, relay verdicts, chaos events, service
+  degradations);
+* ``chrome <run.jsonl> [-o out.trace.json]`` — convert a JSONL run into
+  Chrome trace-event JSON for Perfetto / ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.report import Table
+from repro.errors import TelemetryError
+from repro.telemetry.export import (
+    TelemetryRun,
+    read_jsonl,
+    summarize_collectives,
+    summarize_links,
+    write_chrome_trace,
+)
+
+#: Instant-event names that belong in the chronological decision log.
+DECISION_EVENTS = (
+    "ski-rental-decision",
+    "synthesis-decision",
+    "service-retry",
+    "service-degraded",
+    "fault-detected",
+)
+
+
+def _collective_table(run: TelemetryRun) -> Optional[Table]:
+    rows = summarize_collectives(run)
+    if not rows:
+        return None
+    table = Table(
+        "Per-collective latency (seconds)", ["runs", "mean", "min", "max"]
+    )
+    for row in rows:
+        table.add_row(
+            row["name"],
+            [row["count"], row["mean_seconds"], row["min_seconds"], row["max_seconds"]],
+        )
+    return table
+
+
+def _link_table(run: TelemetryRun) -> Optional[Table]:
+    rows = summarize_links(run)
+    if not rows:
+        return None
+    table = Table("Link utilization", ["busy_s", "bytes", "util"])
+    for row in rows:
+        table.add_row(
+            row["link"], [row["busy_seconds"], row["bytes"], row["utilization"]]
+        )
+    return table
+
+
+def _decision_table(run: TelemetryRun) -> Optional[Table]:
+    decisions = [e for e in run.events if e.get("name") == "ski-rental-decision"]
+    if not decisions:
+        return None
+    table = Table(
+        "Ski-rental decisions", ["verdict", "waited_s", "buy_cost_s", "relays"]
+    )
+    for event in decisions:
+        args = event.get("args", {})
+        table.add_row(
+            f"t={event['start']:.4f}",
+            [
+                args.get("verdict", "?"),
+                float(args.get("waited_seconds", 0.0)),
+                float(args.get("buy_cost_seconds", 0.0)),
+                len(args.get("relays", [])),
+            ],
+        )
+    return table
+
+
+def _decision_log(run: TelemetryRun) -> List[str]:
+    lines = []
+    for event in run.events:
+        name = event.get("name", "")
+        if name not in DECISION_EVENTS and not name.startswith("chaos-"):
+            continue
+        args = event.get("args", {})
+        detail = ", ".join(f"{k}={args[k]}" for k in sorted(args) if not isinstance(args[k], dict))
+        lines.append(f"  t={event['start']:9.5f}s  {name:22s} {detail}")
+    return lines
+
+
+def summarize(path: str) -> int:
+    """Print the run summary; returns a process exit code."""
+    run = read_jsonl(path)
+    meta = run.meta
+    print(
+        f"run: {path} (schema {meta.get('schema', '?')}, {meta.get('clock', '?')} clock, "
+        f"{len(run.spans)} spans, {len(run.events)} events)\n"
+    )
+    shown = False
+    for table in (_collective_table(run), _link_table(run), _decision_table(run)):
+        if table is not None:
+            table.show()
+            shown = True
+    log = _decision_log(run)
+    if log:
+        print("Decision log")
+        print("------------")
+        print("\n".join(log))
+        print()
+        shown = True
+    if run.metrics:
+        print("Metrics")
+        print("-------")
+        for name in sorted(run.metrics):
+            payload = run.metrics[name]
+            for series in payload.get("series", []):
+                labels = ",".join(f"{k}={v}" for k, v in sorted(series["labels"].items()))
+                suffix = f"{{{labels}}}" if labels else ""
+                if payload.get("kind") == "histogram":
+                    print(f"  {name}{suffix} count={series['count']} sum={series['sum']:.6g}")
+                else:
+                    print(f"  {name}{suffix} {series['value']:.6g}")
+        shown = True
+    if not shown:
+        print("(empty run: no spans, events, or metrics)")
+    return 0
+
+
+def chrome(path: str, output: Optional[str]) -> int:
+    """Convert a JSONL run to a Chrome trace file."""
+    run = read_jsonl(path)
+    target = output or (path.rsplit(".jsonl", 1)[0] + ".trace.json")
+    write_chrome_trace(run, target, clock=run.meta.get("clock", "sim"))
+    print(f"wrote {target} ({len(run.spans)} spans, {len(run.events)} events)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Summarize or convert exported telemetry runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_sum = sub.add_parser("summarize", help="print latency/decision tables for a run")
+    p_sum.add_argument("run", help="path to a JSONL run file")
+    p_chrome = sub.add_parser("chrome", help="convert a JSONL run to Chrome trace JSON")
+    p_chrome.add_argument("run", help="path to a JSONL run file")
+    p_chrome.add_argument("-o", "--output", default=None, help="output path")
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "summarize":
+            return summarize(args.run)
+        return chrome(args.run, args.output)
+    except (TelemetryError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,273 @@
+"""Exporters: JSONL run files and Chrome trace-event JSON.
+
+The JSONL format is the on-disk interchange for one run — one JSON object
+per line, first a ``meta`` header, then ``span``/``event`` lines merged in
+timestamp order, then one trailing ``metrics`` snapshot. Everything is
+serialized with sorted keys and compact separators, so two identical runs
+produce byte-identical files (the determinism tests rely on this).
+
+``to_chrome_trace`` converts a hub or a loaded run into the Chrome
+trace-event format (the JSON object form with ``traceEvents``), loadable
+in ``chrome://tracing`` or Perfetto. Tracks map to threads — one per
+rank/link/subsystem — with thread-name metadata so the UI labels them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.errors import TelemetryError
+from repro.telemetry.core import Span, TelemetryHub
+
+#: Version stamp carried by the ``meta`` line; bump on breaking changes.
+SCHEMA_VERSION = 1
+
+#: Chrome trace pid used for every track (one simulated job = one process).
+TRACE_PID = 1
+
+
+def _dumps(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _span_record(span: Span, record_type: str) -> Dict[str, Any]:
+    return {
+        "type": record_type,
+        "id": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "cat": span.category,
+        "track": span.track,
+        "start": span.start,
+        "end": span.end,
+        "args": span.args,
+    }
+
+
+def _ordered_records(hub: TelemetryHub) -> List[Dict[str, Any]]:
+    entries = [(s.start, s.seq, _span_record(s, "span")) for s in hub.tracer.spans]
+    entries.extend((e.start, e.seq, _span_record(e, "event")) for e in hub.tracer.events)
+    entries.sort(key=lambda item: (item[0], item[1]))
+    return [record for _start, _seq, record in entries]
+
+
+def to_jsonl(hub: TelemetryHub, clock: str = "sim") -> str:
+    """Serialize one hub's collected run as JSONL text."""
+    lines = [
+        _dumps(
+            {
+                "type": "meta",
+                "schema": SCHEMA_VERSION,
+                "clock": clock,
+                "spans": len(hub.tracer.spans),
+                "events": len(hub.tracer.events),
+            }
+        )
+    ]
+    lines.extend(_dumps(record) for record in _ordered_records(hub))
+    lines.append(_dumps({"type": "metrics", "metrics": hub.metrics.snapshot()}))
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(hub: TelemetryHub, path: str, clock: str = "sim") -> str:
+    """Write :func:`to_jsonl` output to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_jsonl(hub, clock=clock))
+    return path
+
+
+@dataclass
+class TelemetryRun:
+    """One parsed JSONL run: header, ordered records, metrics snapshot."""
+
+    meta: Dict[str, Any] = field(default_factory=dict)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: All span/event records in file order (the lint checks this order).
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def parse_jsonl(text: str) -> TelemetryRun:
+    """Parse JSONL text into a :class:`TelemetryRun`.
+
+    Raises :class:`~repro.errors.TelemetryError` on malformed JSON; schema
+    *content* problems are the ``--telemetry`` lint's job, so unknown
+    record types are kept (in ``records``) rather than rejected here.
+    """
+    run = TelemetryRun()
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TelemetryError(f"line {line_no}: invalid JSON: {exc}") from exc
+        if not isinstance(record, dict):
+            raise TelemetryError(f"line {line_no}: expected an object, got {type(record)}")
+        kind = record.get("type")
+        if kind == "meta" and not run.meta:
+            run.meta = record
+            continue
+        if kind == "metrics":
+            run.metrics = record.get("metrics", {})
+            continue
+        run.records.append(record)
+        if kind == "span":
+            run.spans.append(record)
+        elif kind == "event":
+            run.events.append(record)
+    return run
+
+
+def read_jsonl(path: str) -> TelemetryRun:
+    """Load and parse a JSONL run file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_jsonl(handle.read())
+
+
+# -- Chrome trace-event JSON ------------------------------------------------------
+
+
+def _track_ids(tracks: Iterable[str]) -> Dict[str, int]:
+    """Deterministic track → tid mapping: sorted names, tid from 0."""
+    return {name: tid for tid, name in enumerate(sorted(set(tracks)))}
+
+
+def to_chrome_trace(
+    source: Union[TelemetryHub, TelemetryRun], clock: str = "sim"
+) -> Dict[str, Any]:
+    """Convert a hub or parsed run into a Chrome trace-event JSON object.
+
+    Spans become complete (``"ph": "X"``) events, instants become
+    ``"ph": "i"``; timestamps are microseconds as the format requires.
+    Every track gets a ``thread_name`` metadata event so Perfetto shows
+    one named row per rank/link.
+    """
+    if isinstance(source, TelemetryHub):
+        records = _ordered_records(source)
+    else:
+        records = list(source.records)
+
+    tids = _track_ids(r.get("track", "") or "main" for r in records)
+    trace_events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": f"repro ({clock} clock)"},
+        }
+    ]
+    for track, tid in sorted(tids.items(), key=lambda item: item[1]):
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": track},
+            }
+        )
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "name": "thread_sort_index",
+                "args": {"sort_index": tid},
+            }
+        )
+
+    for record in records:
+        if record.get("type") not in ("span", "event"):
+            continue
+        track = record.get("track", "") or "main"
+        base = {
+            "name": record.get("name", ""),
+            "cat": record.get("cat", "") or "repro",
+            "pid": TRACE_PID,
+            "tid": tids[track],
+            "ts": float(record["start"]) * 1e6,
+            "args": dict(record.get("args", {}), span_id=record.get("id")),
+        }
+        end = record.get("end")
+        if record["type"] == "event" or end == record["start"]:
+            trace_events.append(dict(base, ph="i", s="t"))
+        elif end is None:
+            # An unclosed span still renders as a begin marker rather than
+            # silently vanishing from the timeline.
+            trace_events.append(dict(base, ph="B"))
+        else:
+            duration = (float(end) - float(record["start"])) * 1e6
+            trace_events.append(dict(base, ph="X", dur=duration))
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": SCHEMA_VERSION, "clock": clock},
+    }
+
+
+def write_chrome_trace(
+    source: Union[TelemetryHub, TelemetryRun],
+    path: str,
+    clock: str = "sim",
+) -> str:
+    """Write a Chrome trace JSON for ``source`` to ``path``."""
+    payload = to_chrome_trace(source, clock=clock)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+        handle.write("\n")
+    return path
+
+
+def summarize_collectives(run: TelemetryRun) -> List[Dict[str, Any]]:
+    """Per-collective latency rows from a run's ``collective`` spans."""
+    grouped: Dict[str, List[float]] = {}
+    for span in run.spans:
+        if span.get("cat") != "collective" or span.get("end") is None:
+            continue
+        grouped.setdefault(span["name"], []).append(span["end"] - span["start"])
+    rows = []
+    for name in sorted(grouped):
+        durations = grouped[name]
+        rows.append(
+            {
+                "name": name,
+                "count": len(durations),
+                "mean_seconds": sum(durations) / len(durations),
+                "min_seconds": min(durations),
+                "max_seconds": max(durations),
+            }
+        )
+    return rows
+
+
+def summarize_links(run: TelemetryRun) -> List[Dict[str, Any]]:
+    """Per-link busy time and bytes from ``link:*`` track spans."""
+    busy: Dict[str, float] = {}
+    moved: Dict[str, float] = {}
+    horizon = 0.0
+    for span in run.spans:
+        end: Optional[float] = span.get("end")
+        if end is not None:
+            horizon = max(horizon, end)
+        track = span.get("track", "")
+        if not track.startswith("link:") or end is None:
+            continue
+        busy[track] = busy.get(track, 0.0) + (end - span["start"])
+        moved[track] = moved.get(track, 0.0) + float(span.get("args", {}).get("bytes", 0.0))
+    rows = []
+    for track in sorted(busy):
+        rows.append(
+            {
+                "link": track[len("link:"):],
+                "busy_seconds": busy[track],
+                "bytes": moved[track],
+                "utilization": busy[track] / horizon if horizon > 0 else 0.0,
+            }
+        )
+    return rows

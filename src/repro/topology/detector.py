@@ -29,6 +29,7 @@ from typing import Dict, FrozenSet, Set, Tuple
 
 from repro.hardware.cluster import Cluster
 from repro.hardware.links import MB
+from repro.telemetry.core import hub as telemetry_hub
 
 #: Probe transfer size (the paper uses 20 MB).
 PROBE_BYTES = 20 * MB
@@ -92,10 +93,31 @@ class Detector:
     def _probe_instance(self, instance_id: int, report: DetectionReport):
         sim = self.cluster.sim
         start = sim.now
+        telemetry = telemetry_hub()
+        span = None
+        if telemetry.enabled:
+            span = telemetry.begin(
+                "detect-probes",
+                start,
+                category="detect",
+                track=f"instance:{instance_id}",
+                instance=instance_id,
+            )
         nic_numa = self._probe_nic_numa(instance_id)
         nvlink_pairs = yield from self._probe_nvlink_pairs(instance_id)
         same_switch = yield from self._probe_switch_locality(instance_id)
         colocated = yield from self._probe_nic_locality(instance_id)
+        if span is not None:
+            span.args.update(
+                nic_numa_node=nic_numa,
+                nvlink_pairs=len(nvlink_pairs),
+                same_switch_pairs=len(same_switch),
+                nic_colocated_gpus=len(colocated),
+            )
+            telemetry.end(span, sim.now)
+            telemetry.metrics.counter(
+                "detector_probe_rounds_total", "per-instance detection probe rounds"
+            ).inc()
         report.instances[instance_id] = InstanceReport(
             instance_id=instance_id,
             nic_numa_node=nic_numa,

@@ -258,7 +258,7 @@ class TestTraceLinter:
     def test_real_run_is_clean(self):
         env = BenchEnvironment(make_config([2, 2]), "adapcc")
         recorder = TraceRecorder()
-        env.cluster.network.recorder = recorder
+        env.cluster.network.attach_recorder(recorder)
         inputs = {rank: np.full(256, float(rank + 1)) for rank in env.ranks}
         strategy = env.backend.plan(Primitive.ALLREDUCE, 256 * 8.0, env.ranks)
         env.backend.run(strategy, inputs)

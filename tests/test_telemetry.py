@@ -1,0 +1,342 @@
+"""Telemetry tests: core lifecycle, metrics, exports, determinism, lint.
+
+The determinism tests are the load-bearing ones: two replays of the same
+seeded fault plan under fresh hubs must export *byte-identical* JSONL —
+that property is what makes a trace from a failed run reproducible from
+nothing but its seed, and it is why the tracer only ever timestamps with
+the simulator clock.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.adapcc import AdapCCSession
+from repro.analysis.lint_telemetry import (
+    lint_chrome_trace,
+    lint_telemetry_file,
+    lint_telemetry_run,
+)
+from repro.chaos import ChaosRunner, FaultPlan
+from repro.errors import TelemetryError
+from repro.hardware.presets import make_config, make_homo_cluster
+from repro.simulation.records import TraceRecorder
+from repro.telemetry import (
+    MetricsRegistry,
+    TelemetryHub,
+    Tracer,
+    hub,
+    parse_jsonl,
+    resolve_telemetry,
+    set_hub,
+    to_chrome_trace,
+    to_jsonl,
+)
+from repro.telemetry.__main__ import main as telemetry_cli
+from repro.telemetry.export import summarize_collectives
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "23"))
+
+
+@pytest.fixture
+def fresh_hub():
+    """Install a fresh enabled hub; restore the previous one afterwards."""
+    new = TelemetryHub(enabled=True)
+    previous = set_hub(new)
+    yield new
+    set_hub(previous)
+
+
+@pytest.fixture
+def disabled_hub():
+    """Install a fresh *disabled* hub; restore the previous one afterwards."""
+    new = TelemetryHub(enabled=False)
+    previous = set_hub(new)
+    yield new
+    set_hub(previous)
+
+
+# -- tracing core ---------------------------------------------------------------
+
+
+class TestTracer:
+    def test_span_lifecycle_and_dotted_ids(self):
+        tracer = Tracer()
+        root = tracer.begin("outer", 1.0, category="c", track="t")
+        child = tracer.begin("inner", 1.5, parent=root)
+        assert root.span_id == "1"
+        assert child.span_id == "1.1"
+        assert child.parent_id == "1"
+        tracer.end(child, 2.0)
+        tracer.end(root, 3.0)
+        assert root.duration == 2.0
+        assert tracer.open_spans() == []
+
+    def test_double_close_rejected(self):
+        tracer = Tracer()
+        span = tracer.begin("s", 0.0)
+        tracer.end(span, 1.0)
+        with pytest.raises(TelemetryError):
+            tracer.end(span, 2.0)
+
+    def test_time_travel_rejected(self):
+        tracer = Tracer()
+        span = tracer.begin("s", 5.0)
+        with pytest.raises(TelemetryError):
+            tracer.end(span, 4.0)
+
+    def test_instants_are_closed_at_emission(self):
+        tracer = Tracer()
+        event = tracer.instant("e", 2.5, category="x", flag=True)
+        assert event.end == event.start == 2.5
+        assert tracer.events_named("e") == [event]
+        assert len(tracer) == 1
+
+
+class TestHub:
+    def test_disabled_hub_records_nothing(self):
+        quiet = TelemetryHub(enabled=False)
+        assert quiet.begin("s", 0.0) is None
+        assert quiet.instant("e", 0.0) is None
+        quiet.end(None, 1.0)  # ignoring None is the disabled contract
+        assert len(quiet.tracer) == 0
+
+    def test_resolve_telemetry_flips_current_hub(self, disabled_hub):
+        assert resolve_telemetry(True) is disabled_hub
+        assert disabled_hub.enabled
+        resolve_telemetry(False)
+        assert not disabled_hub.enabled
+        assert resolve_telemetry(None) is disabled_hub  # leaves state alone
+        assert not disabled_hub.enabled
+
+    def test_resolve_telemetry_installs_explicit_hub(self, disabled_hub):
+        mine = TelemetryHub()
+        assert resolve_telemetry(mine) is mine
+        assert mine.enabled
+        assert hub() is mine
+        set_hub(disabled_hub)
+
+    def test_set_hub_rejects_non_hub(self):
+        with pytest.raises(TelemetryError):
+            set_hub("not a hub")
+
+
+# -- metrics --------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_labels_and_total(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("rounds_total")
+        counter.inc(outcome="ok")
+        counter.inc(2.0, outcome="degraded")
+        assert counter.value(outcome="ok") == 1.0
+        assert counter.total() == 3.0
+        with pytest.raises(TelemetryError):
+            counter.inc(-1.0)
+
+    def test_histogram_buckets_fixed_at_creation(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(50.0)  # lands in +Inf
+        series = registry.snapshot()["lat"]["series"][0]
+        assert series["counts"] == [1, 1, 1]
+        assert series["count"] == 3
+        with pytest.raises(TelemetryError):
+            registry.histogram("lat", buckets=(0.5, 5.0))
+
+    def test_kind_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TelemetryError):
+            registry.gauge("x")
+
+    def test_prometheus_text_is_sorted_and_typed(self):
+        registry = MetricsRegistry()
+        registry.gauge("zz").set(2.0, rank="1")
+        registry.counter("aa", "first").inc()
+        text = registry.to_prometheus()
+        assert text.index("aa") < text.index("zz")
+        assert "# TYPE aa counter" in text
+        assert 'zz{rank="1"} 2' in text
+
+
+# -- exports + lint -------------------------------------------------------------
+
+
+def _run_session(seed=0):
+    session = AdapCCSession(make_config([2, 2], [2, 2]), seed=seed)
+    session.init()
+    session.setup()
+    tensors = {rank: np.full(128, float(rank + 1)) for rank in range(4)}
+    session.allreduce(tensors, ready_times={0: 0.0, 1: 0.0, 2: 0.0, 3: 0.4})
+    return session
+
+
+class TestExport:
+    def test_jsonl_roundtrip_and_lint_clean(self, fresh_hub):
+        _run_session()
+        text = to_jsonl(fresh_hub)
+        run = parse_jsonl(text)
+        assert run.meta["spans"] == len(fresh_hub.tracer.spans)
+        assert run.meta["events"] == len(fresh_hub.tracer.events)
+        assert lint_telemetry_run(run) == []
+
+    def test_chrome_trace_lints_clean(self, fresh_hub):
+        _run_session()
+        payload = to_chrome_trace(fresh_hub)
+        assert lint_chrome_trace(payload) == []
+        phases = {event["ph"] for event in payload["traceEvents"]}
+        assert "X" in phases and "M" in phases
+
+    def test_every_layer_emits(self, fresh_hub):
+        _run_session()
+        categories = {span.category for span in fresh_hub.tracer.spans}
+        assert {"collective", "chunk", "reduce", "net", "detect", "profile"} <= categories
+        names = {event.name for event in fresh_hub.tracer.events}
+        assert "synthesis-decision" in names
+        assert "ski-rental-decision" in names
+        assert "alpha-beta-fit" in names
+
+    def test_no_open_spans_after_run(self, fresh_hub):
+        _run_session()
+        assert fresh_hub.tracer.open_spans() == []
+
+    def test_summarize_collectives(self, fresh_hub):
+        _run_session()
+        rows = summarize_collectives(parse_jsonl(to_jsonl(fresh_hub)))
+        assert any(row["name"] == "allreduce" for row in rows)
+
+    def test_lint_flags_corruption(self, fresh_hub):
+        _run_session()
+        run = parse_jsonl(to_jsonl(fresh_hub))
+        run.records[1]["end"] = run.records[1]["start"] - 1.0
+        checks = {v.check for v in lint_telemetry_run(run)}
+        assert "telemetry-clock" in checks
+
+    def test_lint_chrome_flags_bad_phase(self):
+        payload = {"traceEvents": [{"ph": "Q", "pid": 1, "tid": 1, "name": "x", "ts": 0}]}
+        assert any(v.check == "chrome-schema" for v in lint_chrome_trace(payload))
+
+
+# -- determinism ----------------------------------------------------------------
+
+
+def _chaos_export(seed):
+    """One instrumented chaos replay under a fresh hub; returns its JSONL."""
+    specs = make_homo_cluster(num_servers=2, gpus_per_server=4)
+    plan = FaultPlan.generate(
+        seed=seed,
+        world=8,
+        iterations=3,
+        straggler_rate=0.4,
+        crash_rate=0.3,
+        link_fault_rate=0.6,
+        num_instances=2,
+    )
+    fresh = TelemetryHub(enabled=True)
+    previous = set_hub(fresh)
+    try:
+        ChaosRunner(specs, plan, length=256).run()
+        return to_jsonl(fresh)
+    finally:
+        set_hub(previous)
+
+
+class TestDeterminism:
+    def test_same_seed_exports_byte_identical_jsonl(self):
+        first = _chaos_export(CHAOS_SEED)
+        second = _chaos_export(CHAOS_SEED)
+        assert first == second
+        assert lint_telemetry_run(parse_jsonl(first)) == []
+
+    def test_disabled_hub_allocates_no_spans_on_hot_path(self, disabled_hub):
+        _run_session()
+        assert len(disabled_hub.tracer) == 0
+        assert disabled_hub.metrics.names() == []
+
+
+# -- network recorder unification ------------------------------------------------
+
+
+class TestRecorderAttachment:
+    def test_attach_is_idempotent_and_detach_removes(self, disabled_hub):
+        session = _run_session()
+        network = session.cluster.network
+        recorder = TraceRecorder()
+        network.attach_recorder(recorder)
+        network.attach_recorder(recorder)
+        assert network._recorders.count(recorder) == 1
+        network.detach_recorder(recorder)
+        assert recorder not in network._recorders
+        network.detach_recorder(recorder)  # missing is a no-op
+
+    def test_recorder_property_skips_telemetry_bridge(self, fresh_hub):
+        session = AdapCCSession(make_config([2, 2]))
+        network = session.cluster.network
+        # The enabled hub auto-attached its bridge, yet the compatibility
+        # view must show only what lint code assigns.
+        assert network.recorder is None
+        mine = TraceRecorder()
+        network.recorder = mine
+        assert network.recorder is mine
+        bridges = [r for r in network._recorders if not getattr(r, "wants_rates", True)]
+        assert bridges, "telemetry bridge must survive recorder assignment"
+        network.recorder = None
+        assert network.recorder is None
+        assert bridges[0] in network._recorders
+
+
+# -- bench payloads --------------------------------------------------------------
+
+
+class TestBenchPayload:
+    def test_measurement_writes_bench_json(self, tmp_path, monkeypatch, fresh_hub):
+        from repro.bench import measure_algorithm_bandwidth
+        from repro.synthesis.strategy import Primitive
+
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        measure_algorithm_bandwidth(
+            make_config([2, 2]), "adapcc", Primitive.ALLREDUCE, 1 << 20
+        )
+        files = sorted(tmp_path.glob("BENCH_*.json"))
+        assert len(files) == 1
+        payload = json.loads(files[0].read_text())
+        assert payload["kind"] == "algorithm_bandwidth"
+        assert payload["algorithm_bps"] > 0
+        assert payload["busiest_link"]["bytes_carried"] > 0
+        assert "chunks_sent_total" in payload["metrics"]
+
+    def test_no_payload_without_env(self, tmp_path, monkeypatch):
+        from repro.bench import write_bench_payload
+
+        monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+        assert write_bench_payload("x", {"a": 1}) is None
+        assert list(tmp_path.glob("BENCH_*.json")) == []
+
+
+# -- CLI -------------------------------------------------------------------------
+
+
+class TestCLI:
+    def test_summarize_and_chrome(self, tmp_path, fresh_hub, capsys):
+        _run_session()
+        run_path = tmp_path / "run.jsonl"
+        run_path.write_text(to_jsonl(fresh_hub), encoding="utf-8")
+        assert telemetry_cli(["summarize", str(run_path)]) == 0
+        out = capsys.readouterr().out
+        assert "allreduce" in out
+        assert "ski-rental" in out
+        trace_path = tmp_path / "run.trace.json"
+        assert telemetry_cli(["chrome", str(run_path), "-o", str(trace_path)]) == 0
+        payload = json.loads(trace_path.read_text())
+        assert lint_chrome_trace(payload) == []
+        assert lint_telemetry_file(str(run_path)) == []
+        assert lint_telemetry_file(str(trace_path)) == []
+
+    def test_summarize_missing_file_fails(self, tmp_path):
+        assert telemetry_cli(["summarize", str(tmp_path / "absent.jsonl")]) == 1
