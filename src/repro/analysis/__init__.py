@@ -1,6 +1,6 @@
 """Static analysis passes: strategy verification, trace/chaos lint, source lint.
 
-Four passes guard the reproduction's correctness (see DESIGN.md §5 and
+Six passes guard the reproduction's correctness (see DESIGN.md §5 and
 ``python -m repro.analysis``):
 
 * :func:`verify_strategy` / :func:`assert_valid` — static checks of a
@@ -13,7 +13,12 @@ Four passes guard the reproduction's correctness (see DESIGN.md §5 and
   run's trace, plus well-formedness of the ``chaos-*`` event stream
   (fraction bounds, capacity restoration, evictions have injected causes);
 * :func:`lint_source` — AST determinism/convention lint over the source
-  tree.
+  tree;
+* ``lint_telemetry_run`` / ``lint_chrome_trace`` — structural checks over
+  exported telemetry (span nesting, clock monotonicity, metric shapes);
+* :func:`lint_recovery` — safety checks over a recovery control-plane
+  journal (gapless total order, epoch discipline, single leader per
+  epoch, quorum-backed commits, paired rollbacks).
 
 Only :mod:`repro.analysis.config` is imported eagerly: the runtime
 executor consults :func:`verification_enabled` at import time, and the

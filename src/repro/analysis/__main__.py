@@ -1,6 +1,6 @@
 """``python -m repro.analysis`` — run the static analysis passes.
 
-Five passes, all on by default (select a subset with flags):
+Six passes, all on by default (select a subset with flags):
 
 * ``--source``     AST determinism/convention lint over ``src/repro``;
 * ``--strategies`` plan every backend × primitive × benchmark topology and
@@ -14,7 +14,13 @@ Five passes, all on by default (select a subset with flags):
 * ``--telemetry``  with no argument, run a small instrumented collective
   under a fresh telemetry hub and lint both the JSONL export and the
   Chrome-trace conversion; with a path argument, lint that exported file
-  (``--telemetry run.jsonl`` / ``--telemetry run.trace.json``).
+  (``--telemetry run.jsonl`` / ``--telemetry run.trace.json``);
+* ``--recovery``   replay a fault plan that crashes the acting coordinator
+  (once mid-decision, once between a strategy transition's prepare and
+  commit) and partitions the control channel, then lint the control-plane
+  journal: gapless total order, epoch discipline, exactly one coordinator
+  per epoch, quorum-backed commits, paired rollbacks — and the run must
+  still aggregate bitwise exactly.
 
 Exits non-zero when any pass reports a violation, so CI can gate on it.
 """
@@ -158,6 +164,56 @@ def run_chaos_pass(seed: int = 23) -> List[Violation]:
     return violations
 
 
+def run_recovery_pass(seed: int = 29) -> List[Violation]:
+    """Crash the coordinator (both phases), partition, then lint the journal."""
+    from repro.analysis.lint_recovery import lint_recovery
+    from repro.chaos import (
+        ChaosRunner,
+        CoordinatorCrashFault,
+        FaultPlan,
+        PartitionFault,
+    )
+    from repro.hardware.presets import make_homo_cluster
+
+    specs = make_homo_cluster(num_servers=2, gpus_per_server=4)
+    plan = FaultPlan(
+        seed=seed,
+        iterations=5,
+        coordinator_crashes=(
+            CoordinatorCrashFault(1, "decide"),
+            CoordinatorCrashFault(3, "transition"),
+        ),
+        partitions=(PartitionFault((0,), 2, 4),),
+    )
+    runner = ChaosRunner(specs, plan, length=512)
+    report = runner.run()
+    log = runner.control_plane.log
+    print(
+        f"     recovery: seed {seed} — {report.elections} elections, "
+        f"{report.fenced_messages} fenced messages, {report.rollbacks} "
+        f"rollback(s), {report.replayed_records} replayed records; "
+        f"linted {len(log)} journal records"
+    )
+    violations = lint_recovery(log)
+    if not report.all_exact:
+        violations.append(
+            Violation(
+                "recovery-exactness",
+                f"seed{seed}",
+                "a coordinator-crash iteration's AllReduce was not bitwise exact",
+            )
+        )
+    if report.elections < 2 or report.rollbacks < 1:
+        violations.append(
+            Violation(
+                "recovery-coverage",
+                f"seed{seed}",
+                "the recovery scenario did not exercise both failover phases",
+            )
+        )
+    return violations
+
+
 def run_telemetry_pass(target=None) -> List[Violation]:
     """Lint exported telemetry — a given file, or a fresh self-check run.
 
@@ -220,6 +276,9 @@ def main(argv=None) -> int:
     parser.add_argument("--traces", action="store_true", help="run only the trace lint")
     parser.add_argument("--chaos", action="store_true", help="run only the chaos lint")
     parser.add_argument(
+        "--recovery", action="store_true", help="run only the recovery-journal lint"
+    )
+    parser.add_argument(
         "--telemetry",
         nargs="?",
         const=True,
@@ -234,6 +293,7 @@ def main(argv=None) -> int:
         args.strategies,
         args.traces,
         args.chaos,
+        args.recovery,
         args.telemetry is not False,
     ]
     run_all = not any(selected)
@@ -247,6 +307,8 @@ def main(argv=None) -> int:
         ok &= _report("trace lint", run_trace_pass())
     if run_all or args.chaos:
         ok &= _report("chaos lint", run_chaos_pass())
+    if run_all or args.recovery:
+        ok &= _report("recovery lint", run_recovery_pass())
     if run_all or args.telemetry is not False:
         target = args.telemetry if isinstance(args.telemetry, str) else None
         ok &= _report("telemetry lint", run_telemetry_pass(target))

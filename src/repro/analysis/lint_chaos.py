@@ -40,6 +40,9 @@ CHAOS_KINDS = (
     "chaos-evict",
     "chaos-rejoin",
     "chaos-resynthesis",
+    "chaos-coordinator-crash",
+    "chaos-partition",
+    "chaos-heal",
 )
 
 _MESSAGE_ACTIONS = ("drop", "duplicate")

@@ -1,33 +1,42 @@
 """Seeded, schedule-driven fault injection for the AdapCC reproduction.
 
 One :class:`FaultPlan` is a declarative, seed-replayable schedule of
-stragglers, crashes, link degradations and message faults; the
+stragglers, crashes, link degradations, message faults, coordinator-role
+crashes and control-channel partitions; the
 :class:`ChaosInjector` applies it to a simulated cluster, and the
 :class:`ChaosRunner` drives it through the full relay/recovery stack.
 """
 
 from repro.chaos.injector import ChaosInjector
 from repro.chaos.plan import (
+    DECIDE_PHASE,
     DROP,
     DUPLICATE,
+    TRANSITION_PHASE,
+    CoordinatorCrashFault,
     CrashFault,
     FaultPlan,
     LinkFault,
     MessageFault,
+    PartitionFault,
     StragglerFault,
 )
 from repro.chaos.runner import ChaosRunner, ChaosRunReport, IterationOutcome
 
 __all__ = [
+    "DECIDE_PHASE",
     "DROP",
     "DUPLICATE",
+    "TRANSITION_PHASE",
     "ChaosInjector",
     "ChaosRunReport",
     "ChaosRunner",
+    "CoordinatorCrashFault",
     "CrashFault",
     "FaultPlan",
     "IterationOutcome",
     "LinkFault",
     "MessageFault",
+    "PartitionFault",
     "StragglerFault",
 ]

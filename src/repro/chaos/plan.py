@@ -7,7 +7,7 @@ the conformance suite — consumes the *plan*, never ambient randomness, so
 any chaos run can be replayed bit-for-bit from ``FaultPlan.generate(seed,
 ...)`` (or from the explicit event list itself).
 
-Four fault families (ISSUE 2's tentpole):
+Six fault families (ISSUE 2's four, plus the recovery control plane's):
 
 * :class:`StragglerFault` — a per-rank delay added to the tensor-ready
   time of one iteration (drives the ski-rental wait-vs-relay decision);
@@ -17,7 +17,15 @@ Four fault families (ISSUE 2's tentpole):
 * :class:`LinkFault` — degradation or flapping of one instance's NIC
   bandwidth on the :class:`~repro.simulation.fluid.FluidNetwork`;
 * :class:`MessageFault` — a dropped or duplicated work-queue submission at
-  the framework/communicator boundary (Fig. 4's Work Queue).
+  the framework/communicator boundary (Fig. 4's Work Queue);
+* :class:`CoordinatorCrashFault` — the acting coordinator's *control-plane
+  role* dies mid-iteration (during the ski-rental decision, or between a
+  strategy transition's prepare and commit), forcing a lease takeover and
+  journal replay in :class:`~repro.recovery.control_plane.
+  RecoveringControlPlane`;
+* :class:`PartitionFault` — a set of ranks loses the control channel for a
+  window of iterations and heals, exercising epoch fencing (split-brain
+  resolution) without touching the data path.
 """
 
 from __future__ import annotations
@@ -32,6 +40,11 @@ from repro.errors import ChaosError
 #: Message-fault actions.
 DROP = "drop"
 DUPLICATE = "duplicate"
+
+#: Coordinator-crash phases: during the ski-rental decision scan, or
+#: between a strategy transition's prepare and its commit.
+DECIDE_PHASE = "decide"
+TRANSITION_PHASE = "transition"
 
 
 @dataclass(frozen=True)
@@ -121,6 +134,52 @@ class MessageFault:
 
 
 @dataclass(frozen=True)
+class CoordinatorCrashFault:
+    """Kill the acting coordinator's control-plane role at ``iteration``.
+
+    Whoever holds the lease when the fault fires is the victim — the plan
+    names the *moment*, not the rank, because the rank depends on earlier
+    elections. ``phase`` places the crash inside the iteration: during the
+    ski-rental ``decide`` scan, or in a strategy ``transition`` between
+    prepare and commit (the rollback path). The victim's worker keeps
+    running: only its coordination agent dies and restarts as a follower.
+    """
+
+    iteration: int
+    phase: str = DECIDE_PHASE
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ChaosError("iteration must be non-negative")
+        if self.phase not in (DECIDE_PHASE, TRANSITION_PHASE):
+            raise ChaosError(f"unknown coordinator-crash phase {self.phase!r}")
+
+
+@dataclass(frozen=True)
+class PartitionFault:
+    """Cut ``ranks`` off the control channel from ``iteration`` until the
+    heal at ``heal_iteration`` (exclusive of the partition window).
+
+    Control-channel-only: isolated ranks keep exchanging tensors on the
+    data network, but stop hearing epoch announcements — so if the
+    partition swallowed the coordinator, the majority side elects a new
+    one and the deposed incumbent's first post-heal message is fenced.
+    """
+
+    ranks: Tuple[int, ...]
+    iteration: int
+    heal_iteration: int
+
+    def __post_init__(self) -> None:
+        if not self.ranks:
+            raise ChaosError("a partition isolates at least one rank")
+        if self.iteration < 0:
+            raise ChaosError("iteration must be non-negative")
+        if self.heal_iteration <= self.iteration:
+            raise ChaosError("heal must happen after the partition starts")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """One replayable chaos schedule for a multi-iteration run."""
 
@@ -130,6 +189,8 @@ class FaultPlan:
     crashes: Tuple[CrashFault, ...] = ()
     link_faults: Tuple[LinkFault, ...] = ()
     message_faults: Tuple[MessageFault, ...] = ()
+    coordinator_crashes: Tuple[CoordinatorCrashFault, ...] = ()
+    partitions: Tuple[PartitionFault, ...] = ()
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -137,6 +198,9 @@ class FaultPlan:
         crashed_ranks = [c.rank for c in self.crashes]
         if len(crashed_ranks) != len(set(crashed_ranks)):
             raise ChaosError("at most one crash fault per rank")
+        crash_iterations = [c.iteration for c in self.coordinator_crashes]
+        if len(crash_iterations) != len(set(crash_iterations)):
+            raise ChaosError("at most one coordinator crash per iteration")
 
     # -- queries ---------------------------------------------------------------
 
@@ -165,6 +229,21 @@ class FaultPlan:
             c.rank for c in self.crashes if c.rejoin_iteration == iteration
         )
 
+    def coordinator_crash_at(self, iteration: int) -> Optional[CoordinatorCrashFault]:
+        """The coordinator-role crash scheduled for ``iteration``, if any."""
+        for fault in self.coordinator_crashes:
+            if fault.iteration == iteration:
+                return fault
+        return None
+
+    def partitions_starting_at(self, iteration: int) -> List[PartitionFault]:
+        """Partitions whose isolation window opens at ``iteration``."""
+        return [p for p in self.partitions if p.iteration == iteration]
+
+    def partitions_healing_at(self, iteration: int) -> List[PartitionFault]:
+        """Partitions whose heal lands exactly at ``iteration``."""
+        return [p for p in self.partitions if p.heal_iteration == iteration]
+
     def message_actions(self, rank: int) -> Dict[int, str]:
         """submission-index -> action map for one rank's work queue."""
         return {
@@ -183,6 +262,8 @@ class FaultPlan:
             self.crashes,
             self.link_faults,
             self.message_faults,
+            self.coordinator_crashes,
+            self.partitions,
         )
 
     # -- generation ------------------------------------------------------------
@@ -200,15 +281,20 @@ class FaultPlan:
         link_fault_rate: float = 0.0,
         num_instances: int = 0,
         message_fault_rate: float = 0.0,
+        coordinator_crash_rate: float = 0.0,
+        transition_crash_fraction: float = 0.25,
+        partition_rate: float = 0.0,
     ) -> "FaultPlan":
         """Draw a random-but-replayable plan from ``seed``.
 
         All randomness flows through one ``numpy.random.Generator`` seeded
         here, so two calls with identical arguments produce identical plans
         (asserted property-based in the conformance suite). Rank 0 is never
-        crashed — the coordinator must survive — and at least one rank is
-        left alive at every iteration by capping concurrent crashes at
-        ``world - 2``.
+        *worker*-crashed, and at least one rank is left alive at every
+        iteration by capping concurrent crashes at ``world - 2``.
+        Coordinator-role crashes are a separate family: they may hit any
+        incumbent (rank 0 included) because the recovery control plane is
+        expected to elect a successor.
         """
         if world < 2:
             raise ChaosError("chaos plans need at least two ranks")
@@ -260,6 +346,40 @@ class FaultPlan:
                         action = DROP if rng.random() < 0.5 else DUPLICATE
                         message_faults.append(MessageFault(rank, index, action))
 
+        coordinator_crashes: List[CoordinatorCrashFault] = []
+        partitions: List[PartitionFault] = []
+        if coordinator_crash_rate > 0:
+            for iteration in range(iterations):
+                if rng.random() >= coordinator_crash_rate:
+                    continue
+                phase = (
+                    TRANSITION_PHASE
+                    if rng.random() < transition_crash_fraction
+                    else DECIDE_PHASE
+                )
+                coordinator_crashes.append(CoordinatorCrashFault(iteration, phase))
+        if partition_rate > 0 and iterations > 1:
+            # Isolate a strict minority — small enough that the reachable
+            # remainder still forms a commit quorum — excluding crashed
+            # ranks so a partitioned rank always has a control agent to
+            # fence after the heal. Windows never overlap: stacked
+            # partitions could jointly isolate past the minority bound.
+            isolatable = [r for r in range(world) if r not in down_ranks]
+            max_isolated = (len(isolatable) - 1) // 2
+            busy_until = 0
+            for iteration in range(iterations - 1):
+                if iteration < busy_until or max_isolated < 1:
+                    continue
+                if rng.random() >= partition_rate:
+                    continue
+                size = int(rng.integers(1, max_isolated + 1))
+                chosen = rng.choice(isolatable, size=size, replace=False)
+                heal = int(rng.integers(iteration + 1, iterations))
+                busy_until = heal
+                partitions.append(
+                    PartitionFault(tuple(sorted(int(r) for r in chosen)), iteration, heal)
+                )
+
         return cls(
             seed=seed,
             iterations=iterations,
@@ -267,4 +387,6 @@ class FaultPlan:
             crashes=tuple(crashes),
             link_faults=tuple(link_faults),
             message_faults=tuple(message_faults),
+            coordinator_crashes=tuple(coordinator_crashes),
+            partitions=tuple(partitions),
         )

@@ -18,6 +18,14 @@
    module guards — the rejoiner gets grace for the iteration in which it
    has not yet reported (it is *unreported*, not faulty).
 
+The runner drives the coordinator through a
+:class:`~repro.recovery.control_plane.RecoveringControlPlane`: membership
+changes install strategies via two-phase prepare/commit, every decision is
+journaled, and the plan's :class:`~repro.chaos.plan.CoordinatorCrashFault`
+and :class:`~repro.chaos.plan.PartitionFault` events exercise lease
+takeover, journal replay, rollback, and epoch fencing — all of it without
+touching the data path, so the exactness checks below still hold.
+
 Every iteration's outputs are checked against the bitwise-exact reference
 (the elementwise sum over the ranks that actually contributed), so the
 conformance suite's central claim — chunked, pipelined, two-phase,
@@ -33,10 +41,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.chaos.injector import ChaosInjector
-from repro.chaos.plan import FaultPlan
+from repro.chaos.plan import DECIDE_PHASE, TRANSITION_PHASE, FaultPlan
 from repro.errors import ChaosError
 from repro.hardware.cluster import Cluster
 from repro.hardware.instance import InstanceSpec
+from repro.recovery.control_plane import RecoveringControlPlane
 from repro.relay.coordinator import AdaptiveAllReduce, AdaptiveResult
 from repro.simulation.engine import Simulator
 from repro.simulation.records import TraceRecorder
@@ -60,6 +69,9 @@ class IterationOutcome:
     outputs: Dict[int, np.ndarray]
     expected: np.ndarray
     duration: float
+    #: Fencing epoch and lease holder under which the iteration ran.
+    epoch: int = 1
+    coordinator: int = 0
 
     @property
     def exact(self) -> bool:
@@ -79,6 +91,13 @@ class ChaosRunReport:
     event_trace: List[Tuple] = field(default_factory=list)
     final_members: List[int] = field(default_factory=list)
     resyntheses: int = 0
+    #: Recovery-control-plane tallies (all deterministic per seed).
+    elections: int = 0
+    fenced_messages: int = 0
+    rollbacks: int = 0
+    replayed_records: int = 0
+    #: The coordinator journal's stable content, for replay comparison.
+    log_signature: Tuple = ()
 
     @property
     def all_exact(self) -> bool:
@@ -114,10 +133,17 @@ class ChaosRunner:
         self.byte_scale = byte_scale
         self.max_chunks = max_chunks
         self.injector = ChaosInjector(self.cluster, plan, recorder=recorder)
-        self.adaptive = AdaptiveAllReduce(self.topology, seed=plan.seed)
         ranks = [gpu.rank for gpu in self.cluster.gpus]
+        self.control_plane = RecoveringControlPlane(
+            self.topology, members=ranks, seed=plan.seed
+        )
+        self.adaptive = AdaptiveAllReduce(
+            self.topology, seed=plan.seed, control_plane=self.control_plane
+        )
         if any(c.rank not in ranks for c in plan.crashes):
             raise ChaosError("plan crashes ranks outside the cluster")
+        if any(r not in ranks for p in plan.partitions for r in p.ranks):
+            raise ChaosError("plan partitions ranks outside the cluster")
         self.members: List[int] = sorted(ranks)
         self.loader = ShardedDataLoader(
             dataset_size=dataset_size, global_batch=len(ranks) * 8, workers=list(ranks)
@@ -128,14 +154,25 @@ class ChaosRunner:
 
     # -- strategy management ---------------------------------------------------
 
-    def _strategy_for(self, members: Sequence[int]) -> Strategy:
-        """Current strategy, re-synthesized when membership changed."""
+    def _strategy_for(
+        self, members: Sequence[int], crash_after_prepare: bool = False
+    ) -> Strategy:
+        """Current strategy, installed transactionally when membership
+        changed (or when a between-prepare-and-commit coordinator crash is
+        being injected, which forces a re-install of the same strategy so
+        the rollback path has a transition to orphan)."""
         key = tuple(members)
-        if self._strategy is None or self._strategy_members != key:
+        changed = self._strategy is None or self._strategy_members != key
+        if not changed and not crash_after_prepare:
+            return self._strategy
+        committed = self.control_plane.install_strategy(
+            members, crash_after_prepare=crash_after_prepare
+        )
+        if changed:
             first = self._strategy is None
             tensor_size = self.length * 8 * self.byte_scale
             self._strategy = self.synthesizer.synthesize(
-                Primitive.ALLREDUCE, tensor_size, list(members)
+                Primitive.ALLREDUCE, tensor_size, list(committed)
             )
             self._strategy_members = key
             if not first:
@@ -167,9 +204,29 @@ class ChaosRunner:
         all_ranks = sorted(gpu.rank for gpu in self.cluster.gpus)
 
         for iteration in range(self.plan.iterations):
+            # Control-channel partitions: heal the windows ending here
+            # before opening the ones starting here.
+            for fault in self.plan.partitions_healing_at(iteration):
+                healed = self.control_plane.heal(fault.ranks)
+                if healed:
+                    self.injector.record(
+                        "chaos-heal", "control-plane", iteration, tuple(healed),
+                        iteration=iteration, ranks=list(healed),
+                    )
+            for fault in self.plan.partitions_starting_at(iteration):
+                isolated = self.control_plane.partition(fault.ranks)
+                if isolated:
+                    self.injector.record(
+                        "chaos-partition", "control-plane", iteration,
+                        tuple(isolated),
+                        iteration=iteration, ranks=list(isolated),
+                    )
+
             # Rejoin transient crashers whose window ends here (if they
             # were evicted; a crasher that was never detected — e.g. its
-            # window fell between collectives — is still a member).
+            # window fell between collectives — is still a member). A
+            # readmitted rank gets a fresh one-shot grace window: its
+            # first iteration back may straggle without being re-evicted.
             rejoined = [
                 rank
                 for rank in self.plan.rejoining_at(iteration)
@@ -178,6 +235,7 @@ class ChaosRunner:
             if rejoined:
                 self.members = sorted(set(self.members) | set(rejoined))
                 self.loader.readmit(rejoined)
+                self.adaptive.fault_detector.arm_grace(rejoined)
                 for rank in rejoined:
                     self.injector.record(
                         "chaos-rejoin", f"rank{rank}", iteration, rank,
@@ -185,13 +243,29 @@ class ChaosRunner:
                     )
 
             participants = list(self.members)
+            self.control_plane.begin_iteration(iteration, participants)
+            crash = self.plan.coordinator_crash_at(iteration)
+            if crash is not None:
+                self.injector.record(
+                    "chaos-coordinator-crash", "control-plane", iteration,
+                    crash.phase,
+                    iteration=iteration, phase=crash.phase,
+                )
             # Inputs are drawn for the full cluster every iteration so the
             # stream consumed per rank is membership-independent — replays
             # with different eviction timing still agree on tensors.
             inputs_all = self._inputs_for(rng, all_ranks)
             inputs = {rank: inputs_all[rank] for rank in participants}
             ready = self.injector.ready_delays(iteration, participants)
-            strategy = self._strategy_for(participants)
+            strategy = self._strategy_for(
+                participants,
+                crash_after_prepare=(
+                    crash is not None and crash.phase == TRANSITION_PHASE
+                ),
+            )
+            if crash is not None and crash.phase == DECIDE_PHASE:
+                # The role dies now; the takeover happens inside decide.
+                self.control_plane.crash_coordinator()
 
             if all(delay is None for delay in ready.values()):
                 raise ChaosError(f"iteration {iteration}: no worker alive")
@@ -226,6 +300,8 @@ class ChaosRunner:
                     outputs=result.outputs,
                     expected=expected,
                     duration=result.duration,
+                    epoch=self.control_plane.epoch,
+                    coordinator=self.control_plane.coordinator,
                 )
             )
 
@@ -251,4 +327,9 @@ class ChaosRunner:
         report.event_trace = list(self.injector.trace)
         report.final_members = list(self.members)
         report.resyntheses = self.resyntheses
+        report.elections = self.control_plane.elections
+        report.fenced_messages = self.control_plane.fence.fenced
+        report.rollbacks = self.control_plane.transition.rollbacks
+        report.replayed_records = self.control_plane.replayed_records_total
+        report.log_signature = self.control_plane.log.signature()
         return report

@@ -92,6 +92,11 @@ class ChaosError(ReproError):
     """Malformed fault plans or impossible injection requests."""
 
 
+class RecoveryError(ReproError):
+    """Control-plane recovery failures: lease misuse, journal corruption,
+    or an impossible election (no live worker left to take over)."""
+
+
 class TelemetryError(ReproError):
     """Telemetry misuse: bad metric definitions, span lifecycle errors,
     or malformed trace files."""

@@ -1,0 +1,62 @@
+"""Fault-tolerant control plane: leases, epochs, WAL, and transactional
+strategy transitions.
+
+The paper pins the adaptive relay coordinator on rank 0 (Fig. 6) and only
+handles *worker* faults (T_fault eviction, Sec. IV-C.2); the coordinator
+itself is a single point of failure. This package removes it:
+
+* :mod:`repro.recovery.lease` — **lease-based election**. Every worker can
+  become coordinator; the incumbent holds a sim-clock lease renewed
+  through the Fig. 19d RPC-latency model, and on expiry the lowest-ranked
+  live worker takes over under a monotonically increasing **epoch**.
+  Messages carrying a stale epoch are *fenced* (dropped and counted),
+  which is also what resolves split-brain after a partition heals.
+* :mod:`repro.recovery.log` — **write-ahead event log + checkpoints**.
+  The coordinator journals ready-set reports, ski-rental decisions,
+  membership changes, and strategy installs as deterministic records; a
+  new coordinator replays the latest checkpoint plus the log suffix and
+  resumes the in-flight iteration without violating the bit-identical
+  aggregation invariant the chaos conformance suite asserts.
+* :mod:`repro.recovery.transitions` — **two-phase strategy transitions**.
+  Re-synthesis becomes prepare/commit: workers ack the prepared strategy
+  under the current epoch, and a coordinator crash between prepare and
+  commit rolls back to the last committed strategy instead of leaving
+  ranks on mixed plans.
+* :mod:`repro.recovery.control_plane` — the :class:`ControlPlane`
+  interface the relay coordinator is refactored against, plus
+  :class:`RecoveringControlPlane` combining all three mechanisms.
+
+``python -m repro.analysis --recovery`` lints a journal: records totally
+ordered per epoch, every committed strategy quorum-acked, and no two
+coordinators acting in the same epoch.
+"""
+
+from repro.recovery.control_plane import ControlPlane, RecoveringControlPlane
+from repro.recovery.lease import (
+    DEFAULT_LEASE_SECONDS,
+    CoordinatorLease,
+    EpochFence,
+)
+from repro.recovery.log import Checkpoint, EventLog, LogRecord, ReplayState
+from repro.recovery.transitions import (
+    TRANSITION_STATES,
+    StrategyTransition,
+    TransitionState,
+    quorum_size,
+)
+
+__all__ = [
+    "DEFAULT_LEASE_SECONDS",
+    "TRANSITION_STATES",
+    "Checkpoint",
+    "ControlPlane",
+    "CoordinatorLease",
+    "EpochFence",
+    "EventLog",
+    "LogRecord",
+    "RecoveringControlPlane",
+    "ReplayState",
+    "StrategyTransition",
+    "TransitionState",
+    "quorum_size",
+]

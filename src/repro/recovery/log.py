@@ -1,0 +1,218 @@
+"""Write-ahead event log and checkpoints for the recovery control plane.
+
+The acting coordinator journals every externally visible step — ready-set
+reports, ski-rental decisions, membership changes, and the prepare/commit/
+rollback of strategy transitions — as :class:`LogRecord` entries before
+acting on them. Records are deterministic plain values (the payloads are
+built from sorted tuples, never dict iteration order), so two same-seed
+chaos replays produce identical journals and the conformance suite can
+compare them byte for byte via :meth:`EventLog.signature`.
+
+Every ``checkpoint_interval`` records the log folds the coordinator's
+durable state into a :class:`Checkpoint`; a newly elected coordinator
+restores the latest checkpoint and replays only the suffix
+(:meth:`EventLog.replay`), which is what keeps takeover cost bounded as a
+run grows. Replay rebuilds a :class:`ReplayState`: the committed strategy
+membership, the in-flight iteration's ready reports, and any transition
+left dangling between prepare and commit (which the new coordinator must
+roll back — see :mod:`repro.recovery.transitions`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RecoveryError
+
+#: Journal record kinds the control plane emits.
+RECORD_KINDS = (
+    "election",
+    "membership",
+    "ready-report",
+    "decision",
+    "strategy-prepare",
+    "prepare-ack",
+    "strategy-commit",
+    "strategy-rollback",
+    "partition",
+    "heal",
+)
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One journaled control-plane step.
+
+    ``index`` is the log-wide total order (0-based, gapless); ``epoch`` and
+    ``coordinator`` identify who acted; ``payload`` is a tuple of sorted
+    ``(key, value)`` pairs so equality and hashing are deterministic.
+    """
+
+    index: int
+    epoch: int
+    coordinator: int
+    kind: str
+    time: float
+    payload: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in RECORD_KINDS:
+            raise RecoveryError(f"unknown journal record kind {self.kind!r}")
+        if self.index < 0 or self.epoch < 1:
+            raise RecoveryError("journal indices are >= 0 and epochs >= 1")
+
+    def get(self, key: str, default: object = None) -> object:
+        """The payload value stored under ``key`` (or ``default``)."""
+        for k, v in self.payload:
+            if k == key:
+                return v
+        return default
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Durable coordinator state as of one journal index (inclusive)."""
+
+    index: int
+    epoch: int
+    coordinator: int
+    iteration: int
+    members: Tuple[int, ...]
+    committed_members: Optional[Tuple[int, ...]]
+
+
+@dataclass
+class ReplayState:
+    """What a newly elected coordinator reconstructs from the journal."""
+
+    iteration: int = -1
+    members: Tuple[int, ...] = ()
+    committed_members: Optional[Tuple[int, ...]] = None
+    #: rank -> delay of the in-flight iteration's last journaled ready map.
+    ready_reports: Dict[int, Optional[float]] = field(default_factory=dict)
+    #: Transition id left prepared but never committed or rolled back.
+    dangling_prepare: Optional[int] = None
+    #: Members proposed by the dangling prepare (for the rollback record).
+    dangling_members: Optional[Tuple[int, ...]] = None
+    #: How many suffix records the replay consumed.
+    replayed_records: int = 0
+    #: Whether a checkpoint anchored the replay (vs. a full-log scan).
+    from_checkpoint: bool = False
+
+
+def _freeze(payload: Dict[str, object]) -> Tuple[Tuple[str, object], ...]:
+    return tuple(sorted(payload.items()))
+
+
+class EventLog:
+    """Append-only journal with periodic checkpoints and suffix replay."""
+
+    def __init__(self, checkpoint_interval: int = 16):
+        if checkpoint_interval < 1:
+            raise RecoveryError("checkpoint interval must be >= 1")
+        self.checkpoint_interval = checkpoint_interval
+        self.records: List[LogRecord] = []
+        self.checkpoints: List[Checkpoint] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(
+        self,
+        epoch: int,
+        coordinator: int,
+        kind: str,
+        time: float,
+        **payload: object,
+    ) -> LogRecord:
+        """Journal one record; the index is assigned by the log."""
+        record = LogRecord(
+            index=len(self.records),
+            epoch=epoch,
+            coordinator=coordinator,
+            kind=kind,
+            time=time,
+            payload=_freeze(payload),
+        )
+        if self.records and record.epoch < self.records[-1].epoch:
+            raise RecoveryError(
+                f"journal epoch regressed: {record.epoch} after {self.records[-1].epoch}"
+            )
+        self.records.append(record)
+        return record
+
+    def checkpoint(
+        self,
+        epoch: int,
+        coordinator: int,
+        iteration: int,
+        members: Tuple[int, ...],
+        committed_members: Optional[Tuple[int, ...]],
+    ) -> Optional[Checkpoint]:
+        """Fold state into a checkpoint if the interval has elapsed."""
+        since = len(self.records) - (
+            self.checkpoints[-1].index + 1 if self.checkpoints else 0
+        )
+        if since < self.checkpoint_interval or not self.records:
+            return None
+        snapshot = Checkpoint(
+            index=len(self.records) - 1,
+            epoch=epoch,
+            coordinator=coordinator,
+            iteration=iteration,
+            members=tuple(members),
+            committed_members=(
+                None if committed_members is None else tuple(committed_members)
+            ),
+        )
+        self.checkpoints.append(snapshot)
+        return snapshot
+
+    # -- recovery --------------------------------------------------------------
+
+    def replay(self) -> ReplayState:
+        """Rebuild coordinator state: latest checkpoint + journal suffix."""
+        state = ReplayState()
+        start = 0
+        if self.checkpoints:
+            anchor = self.checkpoints[-1]
+            state.iteration = anchor.iteration
+            state.members = anchor.members
+            state.committed_members = anchor.committed_members
+            state.from_checkpoint = True
+            start = anchor.index + 1
+        suffix = self.records[start:]
+        for record in suffix:
+            if record.kind == "membership":
+                state.members = tuple(record.get("members", ()))  # type: ignore[arg-type]
+                fallback = state.iteration
+                state.iteration = int(record.get("iteration", fallback))  # type: ignore[arg-type]
+            elif record.kind == "ready-report":
+                iteration = int(record.get("iteration", -1))  # type: ignore[arg-type]
+                if iteration != state.iteration:
+                    state.iteration = iteration
+                state.ready_reports = dict(record.get("ready", ()))  # type: ignore[arg-type]
+            elif record.kind == "strategy-prepare":
+                transition = record.get("transition", -1)
+                state.dangling_prepare = int(transition)  # type: ignore[arg-type]
+                state.dangling_members = tuple(record.get("members", ()))  # type: ignore[arg-type]
+            elif record.kind in ("strategy-commit", "strategy-rollback"):
+                if record.kind == "strategy-commit":
+                    members = record.get("members", ())
+                    state.committed_members = tuple(members)  # type: ignore[arg-type]
+                state.dangling_prepare = None
+                state.dangling_members = None
+        state.replayed_records = len(suffix)
+        return state
+
+    # -- determinism -----------------------------------------------------------
+
+    def signature(self) -> Tuple:
+        """A stable value equal across same-seed replays of one run."""
+        return tuple(
+            (r.index, r.epoch, r.coordinator, r.kind, r.time, r.payload)
+            for r in self.records
+        )

@@ -171,9 +171,17 @@ class AdaptiveAllReduce:
         fault_detector: Optional[FaultDetector] = None,
         rpc_latency: Callable[[np.random.Generator], float] = default_rpc_latency,
         seed: int = 0,
+        control_plane=None,
     ):
         self.topology = topology
         self.coordinator = coordinator or Coordinator(topology)
+        #: Optional coordination layer (duck-typed against
+        #: :class:`repro.recovery.control_plane.ControlPlane`) that takes
+        #: over ``decide``; it may advance the simulator clock — e.g. a
+        #: lease-expiry wait during coordinator failover — before the
+        #: verdict comes back. ``None`` keeps the paper's shape: the plain
+        #: rank-0 coordinator with no failure handling.
+        self.control_plane = control_plane
         self.fault_detector = fault_detector or FaultDetector()
         self.rpc_latency = rpc_latency
         self.rng = np.random.default_rng(seed)
@@ -212,7 +220,8 @@ class AdaptiveAllReduce:
 
         rpc = self.rpc_latency(self.rng)
         self.rpc_samples.append(rpc)
-        decision = self.coordinator.decide(strategy, tensor_size, ready_delays)
+        decider = self.control_plane if self.control_plane is not None else self.coordinator
+        decision = decider.decide(strategy, tensor_size, ready_delays)
         self.iterations_run += 1
         for rank in decision.relays:
             self.relay_counts[rank] = self.relay_counts.get(rank, 0) + 1
@@ -245,7 +254,9 @@ class AdaptiveAllReduce:
         # tensors land mid-phase-1 join the ongoing aggregation chunk by
         # chunk (late join, Sec. IV-C); phase 2 then only carries what
         # missed the window.
-        sim.run(until=started + decision.trigger_time + rpc)
+        # A failing-over control plane may already have advanced the clock
+        # past the nominal trigger instant while waiting out a lease.
+        sim.run(until=max(sim.now, started + decision.trigger_time + rpc))
         phase1_start = sim.now
         phase1_span = None
         if telemetry.enabled:

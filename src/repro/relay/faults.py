@@ -70,6 +70,9 @@ class FaultReport:
     crashed_ranks: List[int] = field(default_factory=list)
     late_ranks: List[int] = field(default_factory=list)
     unreported_ranks: List[int] = field(default_factory=list)
+    #: Ranks that would have been declared late but held an armed grace
+    #: window (a fresh rejoiner); they are counted among ``survivors``.
+    graced_ranks: List[int] = field(default_factory=list)
 
     @property
     def any_faults(self) -> bool:
@@ -79,7 +82,19 @@ class FaultReport:
 
 
 class FaultDetector:
-    """Applies the T_fault rule to a set of (possibly absent) ready times."""
+    """Applies the T_fault rule to a set of (possibly absent) ready times.
+
+    A rank can additionally hold a one-shot **grace window**
+    (:meth:`arm_grace`): the first detection pass that would declare it
+    late instead keeps it as a survivor and consumes the window. The
+    coordinator arms it when readmitting a rejoiner, whose first
+    iteration back is routinely slow (cold caches, catch-up work) —
+    evicting it again on that evidence would make rejoin useless. The
+    window is *re-armable*: a rank that rejoins a second time gets a
+    fresh one (the regression `tests/test_relay.py` guards). A crash
+    (``None`` ready time) is never graced — grace covers slowness, not
+    death — and leaves the window armed for the eventual real rejoin.
+    """
 
     def __init__(self, multiplier: Optional[float] = None):
         if multiplier is None:
@@ -87,6 +102,11 @@ class FaultDetector:
         if multiplier <= 0:
             raise CoordinationError("fault multiplier must be positive")
         self.multiplier = multiplier
+        self._graced: set = set()
+
+    def arm_grace(self, ranks: Sequence[int]) -> None:
+        """Arm (or re-arm) a one-shot grace window for each rank."""
+        self._graced.update(ranks)
 
     def threshold(self, fastest_ready: float, phase1_end: float) -> float:
         """T_fault: 5× the duration since the fastest worker became ready,
@@ -116,6 +136,7 @@ class FaultDetector:
         late: List[int] = []
         unreported: List[int] = []
         survivors: List[int] = []
+        graced: List[int] = []
         for rank in participants:
             if rank not in ready_times:
                 unreported.append(rank)
@@ -125,8 +146,15 @@ class FaultDetector:
                 crashed.append(rank)
                 faulty.append(rank)
             elif ready > deadline:
-                late.append(rank)
-                faulty.append(rank)
+                if rank in self._graced:
+                    # One free pass: the rejoiner survives (and is folded
+                    # into phase 2 like any other late survivor).
+                    self._graced.discard(rank)
+                    graced.append(rank)
+                    survivors.append(rank)
+                else:
+                    late.append(rank)
+                    faulty.append(rank)
             else:
                 survivors.append(rank)
         # ``participants`` is typically just the late workers; an empty
@@ -141,4 +169,5 @@ class FaultDetector:
             crashed_ranks=crashed,
             late_ranks=late,
             unreported_ranks=unreported,
+            graced_ranks=graced,
         )

@@ -21,7 +21,12 @@ Failure paths (exercised by :mod:`repro.chaos`):
   in :attr:`CollectiveService.degradations`;
 * **duplicate suppression** — a submission replayed at the queue boundary
   (same sequence number) is consumed and discarded, so a duplicated
-  message can never double-count a tensor.
+  message can never double-count a tensor;
+* **epoch fencing** — a submission stamped with a coordinator epoch older
+  than the one the service has adopted (:meth:`CollectiveService.
+  advance_epoch`) was composed under a deposed coordinator and is dropped,
+  counted in ``recovery_fenced_messages_total`` under the ``work-queue``
+  site (see :mod:`repro.recovery`).
 """
 
 from __future__ import annotations
@@ -76,6 +81,9 @@ class CollectiveService:
         timeout_seconds: Optional[float] = None,
         max_retries: int = 2,
         backoff_factor: float = 2.0,
+        jitter_fraction: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
     ):
         if timeout_seconds is not None and timeout_seconds <= 0:
             raise CommunicatorError("timeout must be positive")
@@ -83,8 +91,17 @@ class CollectiveService:
             raise CommunicatorError("max_retries must be non-negative")
         if backoff_factor < 1.0:
             raise CommunicatorError("backoff factor must be >= 1")
+        if not 0.0 <= jitter_fraction < 1.0:
+            raise CommunicatorError("jitter fraction must be in [0, 1)")
         self.topology = topology
         self.sim = topology.cluster.sim
+        self.jitter_fraction = jitter_fraction
+        #: The session RNG every retry-window jitter draw flows through.
+        #: Always an *explicit* generator — the caller's session RNG, or a
+        #: fresh one from ``seed`` — never numpy's module-level default,
+        #: so two processes replaying the same chaos seed draw identical
+        #: jitter and their traces stay byte-comparable.
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
         #: Callable (primitive, tensor_size, participants) -> Strategy.
         #: Under degradation it is called with the shrunk participant list,
         #: so it must be able to re-synthesize on a sub-topology.
@@ -110,14 +127,44 @@ class CollectiveService:
         #: Sequence numbers already folded into a collective; a replayed
         #: submission carrying one of these is a duplicate.
         self._served: Set[int] = set()
+        #: The control-plane epoch this service currently accepts. A
+        #: submission stamped with an older epoch was composed under a
+        #: deposed coordinator and is fenced (dropped and counted) in
+        #: :meth:`_harvest`; unstamped submissions are epoch-unaware
+        #: (the seed behaviour) and always pass.
+        self.epoch = 1
+        #: Stale-epoch submissions dropped at the queue boundary.
+        self.fenced_submissions = 0
+
+    # -- epoch fencing --------------------------------------------------------------
+
+    def advance_epoch(self, epoch: int) -> None:
+        """Adopt a newly announced coordinator epoch (monotonic)."""
+        if epoch < self.epoch:
+            raise CommunicatorError(
+                f"epoch must not regress: {epoch} < {self.epoch}"
+            )
+        self.epoch = epoch
 
     # -- framework-facing API -------------------------------------------------------
 
-    def submit(self, rank: int, primitive: Primitive, tensor: np.ndarray) -> int:
-        """Push one rank's request; returns its sequence number."""
+    def submit(
+        self,
+        rank: int,
+        primitive: Primitive,
+        tensor: np.ndarray,
+        epoch: Optional[int] = None,
+    ) -> int:
+        """Push one rank's request; returns its sequence number.
+
+        ``epoch`` stamps the submission with the coordinator epoch the
+        rank composed it under; omit it for epoch-unaware submitters.
+        """
         if rank not in self.queues:
             raise CommunicatorError(f"unknown rank {rank}")
-        return self.queues[rank].submit(primitive, tensor)
+        if epoch is None:
+            return self.queues[rank].submit(primitive, tensor)
+        return self.queues[rank].submit(primitive, tensor, epoch=epoch)
 
     def fetch(self, rank: int):
         """Event yielding the next (sequence, output tensor) for a rank.
@@ -150,7 +197,8 @@ class CollectiveService:
 
     def _harvest(self, items: Dict[int, WorkItem]) -> None:
         """Consume every triggered poll into ``items``, discarding
-        duplicated submissions (already-served sequence numbers)."""
+        duplicated submissions (already-served sequence numbers) and
+        fencing stale-epoch ones."""
         for rank in self.queues:
             while rank not in items:
                 event = self._poll(rank)
@@ -160,6 +208,26 @@ class CollectiveService:
                 item: WorkItem = event.value
                 if item.sequence in self._served:
                     self.duplicates_suppressed += 1
+                    continue
+                item_epoch = item.metadata.get("epoch")
+                if item_epoch is not None and item_epoch < self.epoch:
+                    self.fenced_submissions += 1
+                    telemetry = telemetry_hub()
+                    if telemetry.enabled:
+                        telemetry.instant(
+                            "epoch-fenced",
+                            self.sim.now,
+                            category="recovery",
+                            track="recovery",
+                            site="work-queue",
+                            message_epoch=item_epoch,
+                            current_epoch=self.epoch,
+                            sender=rank,
+                        )
+                        telemetry.metrics.counter(
+                            "recovery_fenced_messages_total",
+                            "stale-epoch messages dropped at the fence",
+                        ).inc(site="work-queue")
                     continue
                 items[rank] = item
 
@@ -184,6 +252,13 @@ class CollectiveService:
                     self._harvest(items)
                     continue
                 window = self.timeout_seconds * self.backoff_factor**attempts
+                if self.jitter_fraction > 0.0:
+                    # Spread retries so lock-stepped ranks don't re-probe
+                    # in unison; the draw comes from the session RNG, so
+                    # same-seed replays jitter identically.
+                    window *= 1.0 + self.jitter_fraction * float(
+                        self.rng.uniform(-1.0, 1.0)
+                    )
                 timer = self.sim.timeout(window)
                 yield self.sim.any_of([*polls, timer])
                 collected = len(items)

@@ -400,6 +400,51 @@ class TestFaultDetectorEdgeCases:
         assert report.faulty_ranks == [1, 2, 3]
 
 
+class TestGraceWindow:
+    """The one-shot re-armable grace window rejoiners get (regression for
+    the rejoin-then-straggle eviction loop)."""
+
+    def detect(self, detector, ready):
+        return detector.detect(ready, sorted(ready), fastest_ready=0.0, phase1_end=1.0)
+
+    def test_graced_late_rank_survives_once(self):
+        detector = FaultDetector()
+        detector.arm_grace([6])
+        report = self.detect(detector, {5: 0.5, 6: 100.0})
+        assert report.graced_ranks == [6]
+        assert report.survivors == [5, 6]
+        assert not report.any_faults
+        # The window was consumed: straggling again means eviction.
+        report = self.detect(detector, {5: 0.5, 6: 100.0})
+        assert report.graced_ranks == []
+        assert report.late_ranks == [6]
+
+    def test_rearm_after_second_rejoin(self):
+        detector = FaultDetector()
+        detector.arm_grace([6])
+        assert self.detect(detector, {6: 100.0}).graced_ranks == [6]
+        assert self.detect(detector, {6: 100.0}).late_ranks == [6]
+        detector.arm_grace([6])
+        assert self.detect(detector, {6: 100.0}).graced_ranks == [6]
+
+    def test_crash_is_never_graced_and_leaves_window_armed(self):
+        detector = FaultDetector()
+        detector.arm_grace([6])
+        report = self.detect(detector, {6: None})
+        assert report.crashed_ranks == [6]
+        assert report.graced_ranks == []
+        # Grace covers slowness, not death: the window survives for the
+        # eventual real rejoin.
+        assert self.detect(detector, {6: 100.0}).graced_ranks == [6]
+
+    def test_on_time_rank_keeps_its_window(self):
+        detector = FaultDetector()
+        detector.arm_grace([6])
+        assert self.detect(detector, {6: 0.5}).survivors == [6]
+        # Punctuality did not consume the window.
+        assert self.detect(detector, {6: 100.0}).graced_ranks == [6]
+
+
 class TestStragglerIntegration:
     """Satellite: 1 and N-1 stragglers into an 8-rank AllReduce must be
     bitwise-identical to the fault-free run, with relay ranks showing the

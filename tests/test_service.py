@@ -129,3 +129,107 @@ class TestCollectiveService:
                 service.submit(rank, Primitive.ALLREDUCE, tensors[rank])
         sim.run()
         assert service.executed == 2
+
+
+def make_timeout_service(**kwargs):
+    sim = Simulator()
+    cluster = Cluster(sim, make_homo_cluster(num_servers=2))
+    topo = LogicalTopology.from_cluster(cluster)
+    synth = Synthesizer(topo)
+
+    def provider(primitive, tensor_size, participants):
+        return synth.synthesize(primitive, tensor_size, participants)
+
+    service = CollectiveService(
+        topo, provider, timeout_seconds=0.1, max_retries=2, **kwargs
+    )
+    return sim, service
+
+
+def degrade_with_silent_rank(sim, service, silent=3):
+    """Submit from every rank but one and run the retry path to exhaustion."""
+    service.start()
+    ranks = sorted(service.queues)
+    tensors = make_tensors(ranks, 64)
+    for rank in ranks:
+        if rank != silent:
+            service.submit(rank, Primitive.ALLREDUCE, tensors[rank])
+    sim.run()
+    assert service.degradations
+    return service.degradations[0]
+
+
+class TestRetryJitter:
+    def test_jitter_fraction_validated(self):
+        with pytest.raises(CommunicatorError):
+            make_timeout_service(jitter_fraction=1.0)
+        with pytest.raises(CommunicatorError):
+            make_timeout_service(jitter_fraction=-0.1)
+
+    def test_same_seed_jitters_identically(self):
+        """The jitter draw flows through the session RNG, so two replays
+        with one seed stay comparable down to the retry timestamps."""
+        first = degrade_with_silent_rank(*make_timeout_service(jitter_fraction=0.3, seed=11))
+        second = degrade_with_silent_rank(*make_timeout_service(jitter_fraction=0.3, seed=11))
+        assert first.completed_at == second.completed_at
+        assert first.retries == second.retries
+
+    def test_jitter_spreads_the_retry_windows(self):
+        plain = degrade_with_silent_rank(*make_timeout_service(jitter_fraction=0.0, seed=11))
+        jittered = degrade_with_silent_rank(*make_timeout_service(jitter_fraction=0.3, seed=11))
+        assert jittered.completed_at != plain.completed_at
+        # Jitter perturbs each window by at most +-30%: the exhausted
+        # retry schedule stays within that envelope of the plain one.
+        assert abs(jittered.completed_at - plain.completed_at) < 0.3 * plain.completed_at
+
+    def test_explicit_session_rng_is_used(self):
+        rng = np.random.default_rng(11)
+        sim, service = make_timeout_service(jitter_fraction=0.3, rng=rng)
+        assert service.rng is rng
+
+
+class TestEpochFencing:
+    def test_stale_epoch_submission_dropped_not_double_counted(self):
+        sim, topo, service = make_service()
+        service.advance_epoch(2)
+        service.start()
+        ranks = sorted(service.queues)
+        tensors = make_tensors(ranks, 64)
+        stale = np.full(64, 1000.0)
+        received = {}
+
+        def framework(sim, rank):
+            if rank == 0:
+                # Composed under the deposed coordinator: must be fenced.
+                service.submit(rank, Primitive.ALLREDUCE, stale, epoch=1)
+            service.submit(rank, Primitive.ALLREDUCE, tensors[rank], epoch=2)
+            _seq, output = yield service.fetch(rank)
+            received[rank] = output
+
+        for rank in ranks:
+            sim.process(framework(sim, rank))
+        sim.run()
+        assert service.fenced_submissions == 1
+        assert service.executed == 1
+        expected = sum(tensors.values())
+        for rank in ranks:
+            np.testing.assert_array_equal(received[rank], expected)
+
+    def test_unstamped_submissions_are_epoch_unaware(self):
+        sim, topo, service = make_service()
+        service.advance_epoch(5)
+        service.start()
+        ranks = sorted(service.queues)
+        tensors = make_tensors(ranks, 64)
+        for rank in ranks:
+            service.submit(rank, Primitive.ALLREDUCE, tensors[rank])
+        sim.run()
+        assert service.executed == 1
+        assert service.fenced_submissions == 0
+
+    def test_epoch_must_not_regress(self):
+        _sim, _topo, service = make_service()
+        service.advance_epoch(3)
+        service.advance_epoch(3)  # idempotent re-announcement is fine
+        with pytest.raises(CommunicatorError):
+            service.advance_epoch(2)

@@ -19,7 +19,13 @@ from repro.analysis.lint_telemetry import (
     lint_telemetry_file,
     lint_telemetry_run,
 )
-from repro.chaos import ChaosRunner, FaultPlan
+from repro.chaos import (
+    DECIDE_PHASE,
+    TRANSITION_PHASE,
+    ChaosRunner,
+    CoordinatorCrashFault,
+    FaultPlan,
+)
 from repro.errors import TelemetryError
 from repro.hardware.presets import make_config, make_homo_cluster
 from repro.simulation.records import TraceRecorder
@@ -247,12 +253,86 @@ def _chaos_export(seed):
         set_hub(previous)
 
 
+def _recovery_export(seed):
+    """One instrumented coordinator-crash replay; returns its JSONL."""
+    specs = make_homo_cluster(num_servers=2, gpus_per_server=4)
+    plan = FaultPlan(
+        seed=seed,
+        iterations=4,
+        coordinator_crashes=(
+            CoordinatorCrashFault(1, DECIDE_PHASE),
+            CoordinatorCrashFault(2, TRANSITION_PHASE),
+        ),
+    )
+    fresh = TelemetryHub(enabled=True)
+    previous = set_hub(fresh)
+    try:
+        ChaosRunner(specs, plan, length=256).run()
+        return to_jsonl(fresh), fresh
+    finally:
+        set_hub(previous)
+
+
+class TestRecoveryMetricsGroup:
+    """Satellite: the ``recovery`` metrics group flows through the
+    existing exporters like every other group."""
+
+    EXPECTED = (
+        "recovery_elections_total",
+        "recovery_fenced_messages_total",
+        "recovery_replayed_records_total",
+        "recovery_rollbacks_total",
+        "recovery_transitions_total",
+    )
+
+    def test_registered_after_a_coordinator_crash_run(self):
+        _jsonl, exported_hub = _recovery_export(CHAOS_SEED)
+        names = exported_hub.metrics.names()
+        for name in self.EXPECTED:
+            assert name in names
+        elections = exported_hub.metrics.get("recovery_elections_total")
+        assert elections.total() == 2.0
+
+    def test_snapshot_and_prometheus_exposition(self):
+        jsonl, exported_hub = _recovery_export(CHAOS_SEED)
+        run = parse_jsonl(jsonl)
+        for name in self.EXPECTED:
+            assert name in run.metrics
+        text = exported_hub.metrics.to_prometheus()
+        for name in self.EXPECTED:
+            assert f"# TYPE {name} counter" in text
+        assert 'recovery_rollbacks_total{reason="coordinator-crash"}' in text
+
+    def test_recovery_instants_land_in_the_trace(self):
+        jsonl, _exported_hub = _recovery_export(CHAOS_SEED)
+        run = parse_jsonl(jsonl)
+        names = {
+            record.get("name")
+            for record in run.records
+            if record.get("cat") == "recovery"
+        }
+        for expected in (
+            "coordinator-crash",
+            "epoch-fenced",
+            "strategy-prepare",
+            "strategy-commit",
+            "strategy-rollback",
+        ):
+            assert expected in names
+        assert lint_telemetry_run(run) == []
+
+
 class TestDeterminism:
     def test_same_seed_exports_byte_identical_jsonl(self):
         first = _chaos_export(CHAOS_SEED)
         second = _chaos_export(CHAOS_SEED)
         assert first == second
         assert lint_telemetry_run(parse_jsonl(first)) == []
+
+    def test_same_seed_recovery_run_exports_byte_identical_jsonl(self):
+        first, _ = _recovery_export(CHAOS_SEED)
+        second, _ = _recovery_export(CHAOS_SEED)
+        assert first == second
 
     def test_disabled_hub_allocates_no_spans_on_hot_path(self, disabled_hub):
         _run_session()
