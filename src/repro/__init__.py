@@ -31,12 +31,16 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.relay` — ski-rental relay control and fault recovery;
 * :mod:`repro.baselines` — NCCL / MSCCL / Blink models;
 * :mod:`repro.training` — workload models and the trainer loop;
-* :mod:`repro.bench` — measurement harness used by ``benchmarks/``.
+* :mod:`repro.observe` — the online watchdog closing the telemetry loop
+  (anomaly verdicts → targeted re-probes → hysteresis-gated re-synthesis);
+* :mod:`repro.bench` — measurement harness used by ``benchmarks/`` and
+  ``python -m repro.bench``.
 """
 
 from repro.adapcc import AdapCCSession
+from repro.observe.watchdog import ObserveConfig
 from repro.synthesis.strategy import Primitive
 
 __version__ = "0.1.0"
 
-__all__ = ["AdapCCSession", "Primitive", "__version__"]
+__all__ = ["AdapCCSession", "ObserveConfig", "Primitive", "__version__"]

@@ -30,6 +30,7 @@ from repro.analysis.config import verification_enabled
 from repro.errors import ReproError
 from repro.hardware.cluster import Cluster
 from repro.hardware.instance import InstanceSpec
+from repro.observe.watchdog import ObserveConfig, Watchdog
 from repro.profiling.profiler import Profiler
 from repro.relay.coordinator import AdaptiveAllReduce
 from repro.runtime.collectives import (
@@ -60,6 +61,7 @@ class AdapCCSession:
         seed: int = 0,
         verify: Optional[bool] = None,
         telemetry: Union[None, bool, TelemetryHub] = None,
+        observe: Union[None, bool, ObserveConfig] = None,
     ):
         #: The process-wide telemetry hub this session records into.
         #: ``None`` defers to ``REPRO_TELEMETRY``; ``True``/``False`` flip
@@ -87,6 +89,19 @@ class AdapCCSession:
         self._active_contexts: List[TransmissionContext] = []
         self._profile_period: Optional[int] = None
         self._collectives_run = 0
+        #: Closed-loop observability: ``True`` or an :class:`ObserveConfig`
+        #: arms a :class:`~repro.observe.watchdog.Watchdog` on the live
+        #: telemetry stream at :meth:`init` (requires an enabled hub).
+        #: The watchdog replaces fixed-period re-profiling with verdict-
+        #: driven targeted re-probes — see :meth:`profile`.
+        if observe is True:
+            self._observe_config: Optional[ObserveConfig] = ObserveConfig()
+        elif observe is False or observe is None:
+            self._observe_config = None
+        else:
+            self._observe_config = observe
+        self.watchdog: Optional[Watchdog] = None
+        self._last_strategy_key = None
 
     # -- lifecycle -------------------------------------------------------------------
 
@@ -102,6 +117,7 @@ class AdapCCSession:
         self.profiler.profile()
         self.synthesizer = Synthesizer(self.topology, self.config)
         self.adaptive = AdaptiveAllReduce(self.topology, seed=self.seed)
+        self._arm_watchdog()
         return self
 
     def setup(self) -> float:
@@ -112,9 +128,24 @@ class AdapCCSession:
         self.contexts = ContextManager(self.cluster)
         return 0.0
 
-    def profile(self, period: int) -> None:
-        """Enable periodic re-profiling every ``period`` collectives
-        (``adapcc.profile()``)."""
+    def profile(self, period: Optional[int] = None) -> None:
+        """Enable re-profiling (``adapcc.profile()``).
+
+        With a ``period``, re-profile every that many collectives — the
+        paper's original fixed cadence. With no ``period`` the session
+        must have been created with ``observe=`` armed: re-probing is then
+        *watchdog-triggered* — the observe loop probes only the links its
+        verdicts implicate, exactly when its detectors fire, and blind
+        periodic passes are switched off.
+        """
+        if period is None:
+            if self.watchdog is None and self._observe_config is None:
+                raise ReproError(
+                    "profile() without a period needs observe= enabled: "
+                    "pass a period, or create the session with observe=True"
+                )
+            self._profile_period = None
+            return
         if period < 1:
             raise ReproError("profiling period must be >= 1")
         self._profile_period = period
@@ -147,6 +178,8 @@ class AdapCCSession:
         if self.contexts is not None:
             self.contexts = ContextManager(self.cluster)
         self._strategies.clear()
+        self._last_strategy_key = None
+        self._arm_watchdog()
         return [gpu.rank for gpu in instance.gpus]
 
     # -- collectives -------------------------------------------------------------------
@@ -162,47 +195,104 @@ class AdapCCSession:
         strategy = self._strategy(Primitive.ALLREDUCE, tensors, byte_scale)
         self._tick()
         if adaptive and ready_times:
-            return self.adaptive.run(strategy, tensors, ready_times, byte_scale=byte_scale)
+            return self._observed(
+                self.adaptive.run(strategy, tensors, ready_times, byte_scale=byte_scale)
+            )
         clean = {r: (t or 0.0) for r, t in (ready_times or {}).items()}
-        return run_allreduce(
-            self.topology, strategy, tensors, ready_times=clean, byte_scale=byte_scale
+        return self._observed(
+            run_allreduce(
+                self.topology, strategy, tensors, ready_times=clean, byte_scale=byte_scale
+            )
         )
 
     def reduce(self, tensors, root: int = 0, byte_scale: float = 1.0) -> CollectiveResult:
         """Reduce: the root rank receives the elementwise sum."""
         strategy = self._strategy(Primitive.REDUCE, tensors, byte_scale, root=root)
         self._tick()
-        return run_reduce(self.topology, strategy, tensors, byte_scale=byte_scale)
+        return self._observed(
+            run_reduce(self.topology, strategy, tensors, byte_scale=byte_scale)
+        )
 
     def broadcast(self, tensors, root: int = 0, byte_scale: float = 1.0) -> CollectiveResult:
         """Broadcast: every rank receives the root's tensor."""
         strategy = self._strategy(Primitive.BROADCAST, tensors, byte_scale, root=root)
         self._tick()
-        return run_broadcast(self.topology, strategy, tensors, byte_scale=byte_scale)
+        return self._observed(
+            run_broadcast(self.topology, strategy, tensors, byte_scale=byte_scale)
+        )
 
     def alltoall(self, tensors, byte_scale: float = 1.0) -> CollectiveResult:
         """AlltoAll: rank d's block s is rank s's block d (token dispatch)."""
         strategy = self._strategy(Primitive.ALLTOALL, tensors, byte_scale)
         self._tick()
-        return run_alltoall(self.topology, strategy, tensors, byte_scale=byte_scale)
+        return self._observed(
+            run_alltoall(self.topology, strategy, tensors, byte_scale=byte_scale)
+        )
 
     def allgather(self, tensors, byte_scale: float = 1.0) -> CollectiveResult:
         """AllGather: every rank receives all shards, in rank order."""
         strategy = self._strategy(Primitive.ALLGATHER, tensors, byte_scale)
         self._tick()
-        return run_allgather(self.topology, strategy, tensors, byte_scale=byte_scale)
+        return self._observed(
+            run_allgather(self.topology, strategy, tensors, byte_scale=byte_scale)
+        )
 
     def reduce_scatter(self, tensors, byte_scale: float = 1.0) -> CollectiveResult:
         """ReduceScatter: rank r receives the sum of partition r."""
         strategy = self._strategy(Primitive.REDUCE_SCATTER, tensors, byte_scale)
         self._tick()
-        return run_reduce_scatter(self.topology, strategy, tensors, byte_scale=byte_scale)
+        return self._observed(
+            run_reduce_scatter(self.topology, strategy, tensors, byte_scale=byte_scale)
+        )
 
     # -- internals -----------------------------------------------------------------------
 
     def _require_init(self) -> None:
         if self.topology is None:
             raise ReproError("call session.init() first")
+
+    def _arm_watchdog(self) -> None:
+        """(Re)build the observe watchdog against the current topology.
+
+        Called from :meth:`init` and again from :meth:`scale_out` — the
+        watchdog's detectors are keyed by link name, and a rebuilt
+        topology means fresh links, fresh baselines, fresh strategy hooks.
+        """
+        if self._observe_config is None or not self._observe_config.enabled:
+            return
+        if self.watchdog is not None:
+            self.watchdog.detach()
+        self.watchdog = Watchdog(
+            self.topology,
+            config=self._observe_config,
+            profiler=self.profiler,
+            current_strategy=self._observed_strategy,
+            resynthesize=self._resynthesize_for_observe,
+            synthesizer=self.synthesizer,
+        ).attach(self.telemetry)
+
+    def _observed_strategy(self) -> Optional[Strategy]:
+        """The watchdog's view of 'the live strategy': the one the most
+        recent collective ran with."""
+        if self._last_strategy_key is None:
+            return None
+        return self._strategies.get(self._last_strategy_key)
+
+    def _resynthesize_for_observe(self, reason: str) -> Optional[Strategy]:
+        """Watchdog hook: replace the live strategy under refreshed costs."""
+        key = self._last_strategy_key
+        if key is None:
+            return None
+        self._strategies.pop(key, None)
+        return self._strategy_for_key(key)
+
+    def _observed(self, result):
+        """Feed one finished collective to the watchdog (identity pass)."""
+        if self.watchdog is not None:
+            self.watchdog.end_iteration(
+                self._collectives_run - 1, max(0.0, result.duration)
+            )
+        return result
 
     def _strategy(
         self,
@@ -216,6 +306,11 @@ class AdapCCSession:
         sample = tensors[participants[0]]
         tensor_size = len(sample) * sample.itemsize * byte_scale
         key = (primitive, participants, float(tensor_size), root)
+        self._last_strategy_key = key
+        return self._strategy_for_key(key)
+
+    def _strategy_for_key(self, key) -> Strategy:
+        primitive, participants, tensor_size, root = key
         if key not in self._strategies:
             strategy = self.synthesizer.synthesize(
                 primitive, tensor_size, list(participants), root=root

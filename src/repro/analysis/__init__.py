@@ -1,6 +1,6 @@
 """Static analysis passes: strategy verification, trace/chaos lint, source lint.
 
-Six passes guard the reproduction's correctness (see DESIGN.md §5 and
+Seven passes guard the reproduction's correctness (see DESIGN.md §5 and
 ``python -m repro.analysis``):
 
 * :func:`verify_strategy` / :func:`assert_valid` — static checks of a
@@ -18,7 +18,11 @@ Six passes guard the reproduction's correctness (see DESIGN.md §5 and
   exported telemetry (span nesting, clock monotonicity, metric shapes);
 * :func:`lint_recovery` — safety checks over a recovery control-plane
   journal (gapless total order, epoch discipline, single leader per
-  epoch, quorum-backed commits, paired rollbacks).
+  epoch, quorum-backed commits, paired rollbacks);
+* ``lint_observe_records`` — causal-chain checks over an observe
+  watchdog's verdict log (evidence windows, verdict → re-probe →
+  re-synthesis tracing, targeted probing, hysteresis discipline, and
+  silence while disabled).
 
 Only :mod:`repro.analysis.config` is imported eagerly: the runtime
 executor consults :func:`verification_enabled` at import time, and the

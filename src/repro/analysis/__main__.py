@@ -1,6 +1,6 @@
 """``python -m repro.analysis`` — run the static analysis passes.
 
-Six passes, all on by default (select a subset with flags):
+Seven passes, all on by default (select a subset with flags):
 
 * ``--source``     AST determinism/convention lint over ``src/repro``;
 * ``--strategies`` plan every backend × primitive × benchmark topology and
@@ -20,7 +20,14 @@ Six passes, all on by default (select a subset with flags):
   commit) and partitions the control channel, then lint the control-plane
   journal: gapless total order, epoch discipline, exactly one coordinator
   per epoch, quorum-backed commits, paired rollbacks — and the run must
-  still aggregate bitwise exactly.
+  still aggregate bitwise exactly;
+* ``--observe``    with no argument, drive the canonical mid-training
+  interference scenario through the chaos runner with the observe
+  watchdog armed and lint the verdict log's causal chain (evidence
+  windows, verdict → re-probe → re-synthesis tracing, targeted probing,
+  hysteresis discipline) plus its detection quality against the fault
+  plan's ground truth; with a path argument, lint that exported observe
+  JSONL log instead.
 
 Exits non-zero when any pass reports a violation, so CI can gate on it.
 """
@@ -264,6 +271,85 @@ def run_telemetry_pass(target=None) -> List[Violation]:
     return violations
 
 
+def run_observe_pass(target=None, seed: int = 11) -> List[Violation]:
+    """Lint an observe log — a given file, or a fresh closed-loop run.
+
+    With ``target`` a path, lint that exported observe JSONL file. With
+    the bare ``--observe`` flag, install a fresh enabled telemetry hub,
+    replay the canonical interference fault plan through the chaos runner
+    with the watchdog armed, and check both the log's causal chain and
+    its detection quality (the injected fault must be detected, and the
+    loop must actually have re-probed and re-synthesized).
+    """
+    from repro.analysis.lint_observe import lint_observe_file, lint_observe_records
+
+    if isinstance(target, str):
+        violations = lint_observe_file(target)
+        print(f"     observe: linted {target}")
+        return violations
+
+    from repro.chaos import ChaosRunner, FaultPlan
+    from repro.hardware.presets import make_homo_cluster
+    from repro.observe import ObserveConfig, evaluate_detection
+    from repro.telemetry.core import TelemetryHub, hub, set_hub
+
+    specs = make_homo_cluster(num_servers=2, gpus_per_server=4)
+    plan = FaultPlan.interference(seed=seed, iterations=24)
+    previous = hub()
+    set_hub(TelemetryHub(enabled=True))
+    try:
+        runner = ChaosRunner(
+            specs, plan, length=512, byte_scale=200_000.0, observe=ObserveConfig()
+        )
+        report = runner.run()
+    finally:
+        set_hub(previous)
+    watchdog = runner.watchdog
+    quality = evaluate_detection(watchdog.log.verdicts, plan.ground_truth())
+    print(
+        f"     observe: seed {seed} — {watchdog.verdicts_raised} verdict(s), "
+        f"{watchdog.reprobes_run} targeted re-probe(s), "
+        f"{watchdog.resyntheses_triggered} re-synthesis(es); recall "
+        f"{quality.recall:.2f}, precision {quality.precision:.2f}; "
+        f"linted {len(watchdog.log)} log records"
+    )
+    violations = lint_observe_records(watchdog.log.records)
+    if quality.recall < 1.0:
+        violations.append(
+            Violation(
+                "observe-detection",
+                f"seed{seed}",
+                "the watchdog missed the injected interference fault",
+            )
+        )
+    if quality.precision < 1.0:
+        violations.append(
+            Violation(
+                "observe-detection",
+                f"seed{seed}",
+                f"{len(quality.false_positives)} verdict(s) match no injected fault",
+            )
+        )
+    if watchdog.reprobes_run < 1 or watchdog.resyntheses_triggered < 1:
+        violations.append(
+            Violation(
+                "observe-loop",
+                f"seed{seed}",
+                "the scenario did not close the loop (no re-probe or no "
+                "re-synthesis)",
+            )
+        )
+    if not report.all_exact:
+        violations.append(
+            Violation(
+                "observe-exactness",
+                f"seed{seed}",
+                "an observed iteration's AllReduce was not bitwise exact",
+            )
+        )
+    return violations
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -287,6 +373,15 @@ def main(argv=None) -> int:
         help="run only the telemetry lint; optionally against an exported "
         "JSONL run or Chrome trace file",
     )
+    parser.add_argument(
+        "--observe",
+        nargs="?",
+        const=True,
+        default=False,
+        metavar="FILE",
+        help="run only the observe lint; optionally against an exported "
+        "observe JSONL log",
+    )
     args = parser.parse_args(argv)
     selected = [
         args.source,
@@ -295,6 +390,7 @@ def main(argv=None) -> int:
         args.chaos,
         args.recovery,
         args.telemetry is not False,
+        args.observe is not False,
     ]
     run_all = not any(selected)
 
@@ -312,6 +408,9 @@ def main(argv=None) -> int:
     if run_all or args.telemetry is not False:
         target = args.telemetry if isinstance(args.telemetry, str) else None
         ok &= _report("telemetry lint", run_telemetry_pass(target))
+    if run_all or args.observe is not False:
+        target = args.observe if isinstance(args.observe, str) else None
+        ok &= _report("observe lint", run_observe_pass(target))
     return 0 if ok else 1
 
 

@@ -30,7 +30,14 @@ from repro.analysis.verify_strategy import Violation
 #: Sub-packages whose code runs under (or feeds) the simulator clock.
 #: ``telemetry`` is held to the same bar: it must never stamp records with
 #: host time, or same-seed runs stop exporting byte-identical traces.
-DETERMINISTIC_DIRS = ("simulation", "runtime", "synthesis", "telemetry", "recovery")
+DETERMINISTIC_DIRS = (
+    "simulation",
+    "runtime",
+    "synthesis",
+    "telemetry",
+    "recovery",
+    "observe",
+)
 
 #: ``time`` module attributes that read the host wall clock.
 _WALL_CLOCK_TIME = {"time", "time_ns", "localtime", "gmtime", "ctime", "asctime"}

@@ -1,0 +1,264 @@
+"""``python -m repro.bench`` — the Fig. 11–13 micro-benchmarks, aggregated.
+
+Runs the same measurement loops as ``benchmarks/bench_fig11_reduce.py``,
+``bench_fig12_allreduce.py`` and ``bench_fig13_alltoall.py`` (Reduce,
+AllReduce and AlltoAll Algo.bw across the paper's A100/V100 testbed
+configurations) and writes one machine-readable aggregate,
+``BENCH_fig11_13.json``: every per-cell bandwidth plus the geomean
+speedups the paper quotes. The simulator is deterministic, so the file
+is byte-stable across runs of the same code — which is what makes it a
+committable perf baseline.
+
+Modes:
+
+* default — measure, print the three figure tables, write the aggregate
+  (to ``REPRO_BENCH_DIR`` via the shared payload path when set, else to
+  ``--output``);
+* ``--check [BASELINE]`` — measure and compare against a committed
+  baseline instead of writing; any cell slower than the tolerance
+  (default 10 %) exits non-zero, which is the CI perf-regression gate;
+* ``--quick`` — first configuration and two backends per figure only
+  (fast smoke for local use);
+* ``--figures fig11,fig13`` — restrict to a subset of figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import measure_algorithm_bandwidth
+from repro.bench.report import Table, bench_dir, geometric_mean, write_bench_payload
+from repro.hardware import MB
+from repro.hardware.presets import make_config
+from repro.synthesis.strategy import Primitive
+
+TENSOR_BYTES = 64 * MB
+
+#: The five paper configurations shared by Fig. 11/12 (Fig. 13 drops the
+#: largest one and Blink, which lacks multi-server AlltoAll).
+_CONFIG_RECIPES: Dict[str, Tuple[List[int], Optional[List[int]]]] = {
+    "A100:(4,4)": ([4, 4], None),
+    "A100:(4,4,4,4)": ([4, 4, 4, 4], None),
+    "A100:(4,4) V100:(4,4)": ([4, 4], [4, 4]),
+    "A100:(4,4,4,4) V100:(4,4)": ([4, 4, 4, 4], [4, 4]),
+    "A100:(2,2) V100:(4,4)": ([2, 2], [4, 4]),
+}
+
+FIGURES: Dict[str, Dict] = {
+    "fig11": {
+        "title": "Fig. 11 — Reduce Algo.bw (GB/s), 64 MB float tensor",
+        "primitive": Primitive.REDUCE,
+        "configs": list(_CONFIG_RECIPES),
+        "backends": ["adapcc", "nccl", "msccl", "blink"],
+        "max_chunks": None,
+    },
+    "fig12": {
+        "title": "Fig. 12 — AllReduce Algo.bw (GB/s), 64 MB float tensor",
+        "primitive": Primitive.ALLREDUCE,
+        "configs": list(_CONFIG_RECIPES),
+        "backends": ["adapcc", "nccl", "msccl", "blink"],
+        "max_chunks": None,
+    },
+    "fig13": {
+        "title": "Fig. 13 — AlltoAll Algo.bw (GB/s), 64 MB per rank",
+        "primitive": Primitive.ALLTOALL,
+        "configs": [c for c in _CONFIG_RECIPES if c != "A100:(4,4,4,4) V100:(4,4)"],
+        "backends": ["adapcc", "nccl", "msccl"],
+        "max_chunks": 4,
+    },
+}
+
+#: Default regression tolerance of ``--check``: a cell may lose up to
+#: this fraction of its baseline bandwidth before the gate fails.
+DEFAULT_TOLERANCE = 0.10
+
+#: Name stem of the aggregate payload (file: ``BENCH_fig11_13.json``).
+AGGREGATE_NAME = "fig11_13"
+
+
+def cell_key(config: str, backend: str) -> str:
+    """The JSON key of one measurement cell."""
+    return f"{config}|{backend}"
+
+
+def measure_figure(name: str, quick: bool = False) -> Dict:
+    """Measure one figure's cells; returns its aggregate payload block."""
+    spec = FIGURES[name]
+    configs = spec["configs"][:1] if quick else spec["configs"]
+    backends = spec["backends"][:2] if quick else spec["backends"]
+    cells: Dict[str, float] = {}
+    for config in configs:
+        a100, v100 = _CONFIG_RECIPES[config]
+        specs = make_config(a100, v100) if v100 else make_config(a100)
+        for backend in backends:
+            cells[cell_key(config, backend)] = measure_algorithm_bandwidth(
+                specs,
+                backend,
+                spec["primitive"],
+                TENSOR_BYTES,
+                max_chunks=spec["max_chunks"],
+            )
+    speedups: Dict[str, float] = {}
+    reference = backends[0]
+    for baseline in backends[1:]:
+        ratios = [
+            cells[cell_key(config, reference)] / cells[cell_key(config, baseline)]
+            for config in configs
+        ]
+        speedups[baseline] = geometric_mean(ratios)
+    return {
+        "title": spec["title"],
+        "primitive": spec["primitive"].value,
+        "configs": configs,
+        "backends": backends,
+        "cells": cells,
+        "geomean_speedups": speedups,
+    }
+
+
+def measure_all(figures: Sequence[str], quick: bool = False) -> Dict:
+    """Measure the selected figures into one aggregate payload."""
+    payload = {
+        "kind": "fig11_13_aggregate",
+        "tensor_bytes": TENSOR_BYTES,
+        "quick": quick,
+        "figures": {},
+    }
+    for name in figures:
+        payload["figures"][name] = measure_figure(name, quick=quick)
+    return payload
+
+
+def render_tables(payload: Dict) -> None:
+    """Print each measured figure as its paper-style table."""
+    for name, figure in payload["figures"].items():
+        table = Table(figure["title"], figure["backends"])
+        for config in figure["configs"]:
+            table.add_row(
+                config,
+                [
+                    figure["cells"][cell_key(config, b)] / 1e9
+                    for b in figure["backends"]
+                ],
+            )
+        table.show()
+        for baseline, speedup in figure["geomean_speedups"].items():
+            print(f"{name}: adapcc vs {baseline} geomean {speedup:.2f}x")
+        print()
+
+
+def compare_payloads(
+    current: Dict, baseline: Dict, tolerance: float = DEFAULT_TOLERANCE
+) -> List[str]:
+    """Regressions of ``current`` against ``baseline``, as human lines.
+
+    A regression is a cell whose bandwidth fell below ``(1 - tolerance)``
+    of the baseline value, or a baseline cell that is missing from the
+    current run (silently dropping a measurement must not pass the gate).
+    Cells new in ``current`` are fine — the baseline just needs updating.
+    """
+    problems: List[str] = []
+    for name, figure in baseline.get("figures", {}).items():
+        current_figure = current.get("figures", {}).get(name)
+        if current_figure is None:
+            problems.append(f"{name}: missing from the current run")
+            continue
+        for key, reference in figure.get("cells", {}).items():
+            measured = current_figure.get("cells", {}).get(key)
+            if measured is None:
+                problems.append(f"{name}/{key}: cell missing from the current run")
+            elif measured < reference * (1.0 - tolerance):
+                problems.append(
+                    f"{name}/{key}: {measured / 1e9:.3f} GB/s is "
+                    f"{(1.0 - measured / reference) * 100:.1f}% below the "
+                    f"baseline {reference / 1e9:.3f} GB/s "
+                    f"(tolerance {tolerance * 100:.0f}%)"
+                )
+    return problems
+
+
+def _write_aggregate(payload: Dict, output: str) -> Path:
+    if bench_dir() is not None:
+        return write_bench_payload(AGGREGATE_NAME, payload)
+    path = Path(output)
+    path.write_text(
+        json.dumps(payload, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the Fig. 11-13 micro-benchmarks and write/check "
+        "the aggregate BENCH_fig11_13.json baseline.",
+    )
+    parser.add_argument(
+        "--check",
+        nargs="?",
+        const="BENCH_fig11_13.json",
+        default=False,
+        metavar="BASELINE",
+        help="compare against a committed baseline instead of writing "
+        "(default baseline path: BENCH_fig11_13.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="fractional bandwidth loss tolerated by --check (default 0.10)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_fig11_13.json",
+        help="aggregate output path when REPRO_BENCH_DIR is unset",
+    )
+    parser.add_argument(
+        "--figures",
+        default=",".join(FIGURES),
+        help="comma-separated subset of figures (fig11,fig12,fig13)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="first configuration + two backends per figure only",
+    )
+    args = parser.parse_args(argv)
+
+    names = [n.strip() for n in args.figures.split(",") if n.strip()]
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        parser.error(f"unknown figures: {unknown} (have {list(FIGURES)})")
+
+    payload = measure_all(names, quick=args.quick)
+    render_tables(payload)
+
+    if args.check is not False:
+        baseline_path = Path(args.check)
+        if not baseline_path.exists():
+            print(f"FAIL bench: baseline {baseline_path} does not exist")
+            return 1
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        problems = compare_payloads(payload, baseline, tolerance=args.tolerance)
+        if problems:
+            print(f"FAIL bench: {len(problems)} regression(s) vs {baseline_path}")
+            for line in problems:
+                print(f"  {line}")
+            return 1
+        cells = sum(
+            len(f.get("cells", {})) for f in baseline.get("figures", {}).values()
+        )
+        print(f"ok   bench: {cells} cells within {args.tolerance * 100:.0f}% of baseline")
+        return 0
+
+    path = _write_aggregate(payload, args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -252,6 +252,43 @@ class FaultPlan:
             if fault.rank == rank
         }
 
+    def ground_truth(self) -> List[Dict[str, object]]:
+        """Anomaly labels this plan should produce, for detection scoring.
+
+        The observe watchdog's quality harness (:mod:`repro.observe.quality`)
+        treats the fault plan as ground truth: every link fault is one
+        anomaly window an online detector ought to flag (as interference
+        onset, bandwidth drift, or — via fit residuals — topology-change
+        suspicion on the faulted instance's NIC), and every rank with
+        scheduled stragglers is one straggler-emergence label over those
+        iterations. Labels are plain dicts so chaos stays independent of
+        the observe package.
+        """
+        labels: List[Dict[str, object]] = []
+        for fault in self.link_faults:
+            labels.append(
+                {
+                    "kinds": ("interference-onset", "bandwidth-drift", "topology-change"),
+                    "node": f"n{fault.instance_id}",
+                    "start_seconds": fault.start_seconds,
+                    "end_seconds": fault.start_seconds + fault.duration_seconds,
+                }
+            )
+        straggler_iterations: Dict[int, List[int]] = {}
+        for straggler in self.stragglers:
+            straggler_iterations.setdefault(straggler.rank, []).append(
+                straggler.iteration
+            )
+        for rank in sorted(straggler_iterations):
+            labels.append(
+                {
+                    "kinds": ("straggler-emergence",),
+                    "subject": f"rank{rank}",
+                    "iterations": tuple(sorted(straggler_iterations[rank])),
+                }
+            )
+        return labels
+
     def signature(self) -> Tuple:
         """A stable value equal across replays of the same plan (used by the
         determinism conformance tests)."""
@@ -267,6 +304,42 @@ class FaultPlan:
         )
 
     # -- generation ------------------------------------------------------------
+
+    @classmethod
+    def interference(
+        cls,
+        seed: int,
+        iterations: int,
+        instance_id: int = 0,
+        start_seconds: float = 0.8,
+        duration_seconds: float = 60.0,
+        bandwidth_fraction: float = 0.3,
+    ) -> "FaultPlan":
+        """A plan with one long NIC degradation and nothing else.
+
+        The canonical observe-watchdog scenario: an external workload
+        starts contending for ``instance_id``'s NIC at ``start_seconds``
+        and keeps squeezing it to ``bandwidth_fraction`` of nominal for
+        ``duration_seconds`` — long enough that the watchdog must detect
+        it online and adapt, rather than outlive it. The defaults assume
+        iterations of roughly a tenth of a simulated second (e.g.
+        ``ChaosRunner(..., length=512, byte_scale=200_000.0)``) so the
+        onset lands around iteration eight, after the detectors' warm-up.
+        Used by the ``--observe`` lint pass, the detection-quality tests,
+        and ``examples/adaptive_interference.py``.
+        """
+        return cls(
+            seed=seed,
+            iterations=iterations,
+            link_faults=(
+                LinkFault(
+                    instance_id=instance_id,
+                    start_seconds=start_seconds,
+                    duration_seconds=duration_seconds,
+                    bandwidth_fraction=bandwidth_fraction,
+                ),
+            ),
+        )
 
     @classmethod
     def generate(

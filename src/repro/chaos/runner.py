@@ -45,6 +45,8 @@ from repro.chaos.plan import DECIDE_PHASE, TRANSITION_PHASE, FaultPlan
 from repro.errors import ChaosError
 from repro.hardware.cluster import Cluster
 from repro.hardware.instance import InstanceSpec
+from repro.observe.watchdog import ObserveConfig, Watchdog
+from repro.profiling.profiler import Profiler
 from repro.recovery.control_plane import RecoveringControlPlane
 from repro.relay.coordinator import AdaptiveAllReduce, AdaptiveResult
 from repro.simulation.engine import Simulator
@@ -121,6 +123,7 @@ class ChaosRunner:
         max_chunks: Optional[int] = 8,
         recorder: Optional[TraceRecorder] = None,
         dataset_size: int = 4096,
+        observe: Optional[ObserveConfig] = None,
     ):
         self.sim = Simulator()
         self.cluster = Cluster(self.sim, specs)
@@ -151,6 +154,22 @@ class ChaosRunner:
         self._strategy: Optional[Strategy] = None
         self._strategy_members: Optional[Tuple[int, ...]] = None
         self.resyntheses = 0
+        # Closed-loop observability: a watchdog on the live telemetry
+        # stream drives targeted re-probes and hysteresis-gated
+        # re-synthesis through the same transactional install path the
+        # membership changes use. Requires an enabled telemetry hub.
+        self.watchdog: Optional[Watchdog] = None
+        self.profiler: Optional[Profiler] = None
+        if observe is not None and observe.enabled:
+            self.profiler = Profiler(self.topology)
+            self.watchdog = Watchdog(
+                self.topology,
+                config=observe,
+                profiler=self.profiler,
+                current_strategy=lambda: self._strategy,
+                resynthesize=self._resynthesize_for_observe,
+                synthesizer=self.synthesizer,
+            ).attach()
 
     # -- strategy management ---------------------------------------------------
 
@@ -181,6 +200,24 @@ class ChaosRunner:
                 "chaos-resynthesis", "synthesizer", key,
                 members=list(key),
             )
+        return self._strategy
+
+    def _resynthesize_for_observe(self, reason: str) -> Strategy:
+        """The watchdog's re-synthesis hook: transactional install of a
+        fresh strategy on the *current* membership under the refreshed
+        link estimates (two-phase prepare/commit, journaled like every
+        membership-driven install)."""
+        committed = self.control_plane.install_strategy(self.members)
+        tensor_size = self.length * 8 * self.byte_scale
+        self._strategy = self.synthesizer.synthesize(
+            Primitive.ALLREDUCE, tensor_size, list(committed)
+        )
+        self._strategy_members = tuple(self.members)
+        self.resyntheses += 1
+        self.injector.record(
+            "chaos-resynthesis", "synthesizer", tuple(self.members),
+            members=list(self.members), reason=reason,
+        )
         return self._strategy
 
     # -- inputs ----------------------------------------------------------------
@@ -305,6 +342,9 @@ class ChaosRunner:
                 )
             )
 
+            if self.watchdog is not None:
+                self.watchdog.end_iteration(iteration, result.duration)
+
             if faulty:
                 # Eviction: shrink the group, rebalance shards (global
                 # batch unchanged), and force re-synthesis next iteration.
@@ -323,6 +363,9 @@ class ChaosRunner:
         # window reaching past the last iteration still owes its nominal-
         # bandwidth restoration.
         self.sim.run()
+
+        if self.watchdog is not None:
+            self.watchdog.detach()
 
         report.event_trace = list(self.injector.trace)
         report.final_members = list(self.members)

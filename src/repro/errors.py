@@ -100,3 +100,9 @@ class RecoveryError(ReproError):
 class TelemetryError(ReproError):
     """Telemetry misuse: bad metric definitions, span lifecycle errors,
     or malformed trace files."""
+
+
+class ObserveError(ReproError):
+    """Observe-watchdog misuse: invalid detector parameters, a watchdog
+    attached without an enabled telemetry stream, or malformed verdict
+    logs."""

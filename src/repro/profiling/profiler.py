@@ -63,6 +63,7 @@ class Profiler:
         self.topology = topology
         self.plan = plan
         self.passes_completed = 0
+        self.targeted_passes_completed = 0
 
     # -- public API ----------------------------------------------------------------
 
@@ -114,6 +115,45 @@ class Profiler:
             telemetry.end(pass_span, sim.now)
             telemetry.metrics.counter(
                 "profiler_passes_total", "completed profiling passes"
+            ).inc()
+        return result
+
+    def reprobe(self, edges: List[Edge]) -> ProfileResult:
+        """Run one blocking *targeted* pass over only the given edges.
+
+        This is the observe watchdog's entry point: a full pass probes
+        every link in (N−1) barrier rounds, but a verdict implicates
+        specific links, so re-measuring anything else wastes simulated
+        training time. Estimates are applied exactly like a full pass;
+        the periodic pass counter is untouched.
+        """
+        sim = self.topology.cluster.sim
+        process = sim.process(self.run_targeted(edges), name="profiler-reprobe")
+        return sim.run_until_complete(process)
+
+    def run_targeted(self, edges: List[Edge]):
+        """Generator form of the targeted pass, for embedding in a process."""
+        sim = self.topology.cluster.sim
+        result = ProfileResult(started_at=sim.now)
+        telemetry = telemetry_hub()
+        pass_span = None
+        if telemetry.enabled:
+            pass_span = telemetry.begin(
+                "profile-reprobe",
+                sim.now,
+                category="profile",
+                track="profiler",
+                links=[f"{edge.src}->{edge.dst}" for edge in edges],
+            )
+        yield from self._profile_edges(list(edges), result)
+        result.finished_at = sim.now
+        self._apply(result)
+        self.targeted_passes_completed += 1
+        if pass_span is not None:
+            pass_span.args["edges_profiled"] = len(result.estimates)
+            telemetry.end(pass_span, sim.now)
+            telemetry.metrics.counter(
+                "profiler_targeted_passes_total", "targeted re-probe passes"
             ).inc()
         return result
 

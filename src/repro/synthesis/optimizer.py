@@ -366,6 +366,18 @@ class Synthesizer:
         """Score a strategy (used by the aggregation local search)."""
         return self._score(strategy)
 
+    def finish_time(self, strategy: Strategy) -> float:
+        """The strategy's eq.-4 finish time under *current* link estimates.
+
+        ``strategy.predicted_time`` is frozen at synthesis time; this
+        re-evaluates the same objective against whatever the topology's
+        estimates say now. The observe watchdog compares the two after a
+        targeted re-probe: a gap beyond its hysteresis threshold means the
+        installed strategy is stale and re-synthesis is worth the switch
+        cost.
+        """
+        return self._score(strategy)
+
     def _score(self, strategy: Strategy) -> float:
         """Evaluator objective; AllReduce adds the reversed broadcast half."""
         reduce_time = self.evaluator.objective(strategy)

@@ -193,6 +193,24 @@ class Tracer:
         return len(self.spans) + len(self.events)
 
 
+class TelemetryConsumer:
+    """Base class for live subscribers to a hub's record stream.
+
+    Exporters read a hub *after* a run; a consumer sees each record the
+    moment it is complete — closed spans via :meth:`on_span`, instants via
+    :meth:`on_event` — which is what lets the observe watchdog maintain
+    rolling statistics online instead of re-parsing exports. Consumers
+    never see open spans (a span is streamed only once its ``end`` is
+    known) and are never called while the hub is disabled.
+    """
+
+    def on_span(self, span: Span) -> None:
+        """One span, delivered at the instant it closes."""
+
+    def on_event(self, event: Span) -> None:
+        """One instant event, delivered as it is recorded."""
+
+
 class TelemetryHub:
     """One process-wide bundle of tracer + metrics behind an enable flag.
 
@@ -205,6 +223,33 @@ class TelemetryHub:
         self.enabled = bool(enabled)
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
+        #: Live streaming consumers (see :class:`TelemetryConsumer`).
+        self._consumers: List[TelemetryConsumer] = []
+
+    # -- streaming subscriptions -----------------------------------------------
+
+    def subscribe(self, consumer: TelemetryConsumer) -> TelemetryConsumer:
+        """Attach a live consumer to the record stream (idempotent)."""
+        if not hasattr(consumer, "on_span") or not hasattr(consumer, "on_event"):
+            raise TelemetryError(
+                f"subscribe() needs a TelemetryConsumer-shaped object, "
+                f"got {type(consumer).__name__}"
+            )
+        if consumer not in self._consumers:
+            self._consumers.append(consumer)
+        return consumer
+
+    def unsubscribe(self, consumer: TelemetryConsumer) -> None:
+        """Detach a consumer; unknown consumers are ignored."""
+        try:
+            self._consumers.remove(consumer)
+        except ValueError:
+            pass
+
+    @property
+    def consumers(self) -> List[TelemetryConsumer]:
+        """The currently subscribed consumers (copy)."""
+        return list(self._consumers)
 
     # -- switches -------------------------------------------------------------
 
@@ -219,7 +264,7 @@ class TelemetryHub:
         return self
 
     def reset(self) -> "TelemetryHub":
-        """Drop all collected spans, events, and metrics."""
+        """Drop all collected spans, events, and metrics (consumers stay)."""
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
         return self
@@ -236,12 +281,17 @@ class TelemetryHub:
         """Close a span returned by :meth:`begin` (``None`` is ignored)."""
         if span is not None:
             self.tracer.end(span, end)
+            for consumer in self._consumers:
+                consumer.on_span(span)
 
     def instant(self, name: str, ts: float, **kwargs: Any) -> Optional[Span]:
         """Record an instant event, or return ``None`` when disabled."""
         if not self.enabled:
             return None
-        return self.tracer.instant(name, ts, **kwargs)
+        event = self.tracer.instant(name, ts, **kwargs)
+        for consumer in self._consumers:
+            consumer.on_event(event)
+        return event
 
 
 #: The process-wide hub (created lazily so the env var is read on first use).
