@@ -1,6 +1,14 @@
 """Static analysis passes: strategy verification, trace/chaos lint, source lint.
 
-Seven passes guard the reproduction's correctness (see DESIGN.md §5 and
+The passes run through a pluggable framework (DESIGN.md §10): each
+registers a :class:`~repro.analysis.registry.PassSpec` (name, finding
+codes with default severities, cache inputs, entry point) and emits
+structured :class:`~repro.analysis.findings.Finding` records, which the
+CLI renders as text, JSON, or SARIF 2.1.0 with content-addressed
+incremental caching and ``--jobs`` parallelism (see
+:mod:`repro.analysis.runner` and ``python -m repro.analysis --list``).
+
+Eight passes guard the reproduction's correctness (see DESIGN.md §5 and
 ``python -m repro.analysis``):
 
 * :func:`verify_strategy` / :func:`assert_valid` — static checks of a
@@ -22,7 +30,11 @@ Seven passes guard the reproduction's correctness (see DESIGN.md §5 and
 * ``lint_observe_records`` — causal-chain checks over an observe
   watchdog's verdict log (evidence windows, verdict → re-probe →
   re-synthesis tracing, targeted probing, hysteresis discipline, and
-  silence while disabled).
+  silence while disabled);
+* :mod:`repro.analysis.race` — the sim-determinism race detector:
+  static AST hazard checks over the order-sensitive packages plus a
+  vector-clock happens-before replay of an executed telemetry run
+  against the strategy-derived chunk-dependency DAG.
 
 Only :mod:`repro.analysis.config` is imported eagerly: the runtime
 executor consults :func:`verification_enabled` at import time, and the
@@ -45,6 +57,19 @@ _LAZY = {
     "Violation": ("repro.analysis.verify_strategy", "Violation"),
     "assert_valid": ("repro.analysis.verify_strategy", "assert_valid"),
     "stage_unreachable": ("repro.analysis.verify_strategy", "stage_unreachable"),
+    "Finding": ("repro.analysis.findings", "Finding"),
+    "SEVERITIES": ("repro.analysis.findings", "SEVERITIES"),
+    "severity_rank": ("repro.analysis.findings", "severity_rank"),
+    "from_violations": ("repro.analysis.findings", "from_violations"),
+    "PassSpec": ("repro.analysis.registry", "PassSpec"),
+    "PassResult": ("repro.analysis.registry", "PassResult"),
+    "RuleSpec": ("repro.analysis.registry", "RuleSpec"),
+    "iter_passes": ("repro.analysis.registry", "iter_passes"),
+    "get_pass": ("repro.analysis.registry", "get_pass"),
+    "run_passes": ("repro.analysis.runner", "run_passes"),
+    "AnalysisCache": ("repro.analysis.cache", "AnalysisCache"),
+    "fingerprint_strategy": ("repro.analysis.cache", "fingerprint_strategy"),
+    "to_sarif": ("repro.analysis.sarif", "to_sarif"),
 }
 
 __all__ = ["ENV_VERIFY", "verification_enabled", *sorted(_LAZY)]

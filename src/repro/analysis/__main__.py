@@ -1,368 +1,171 @@
-"""``python -m repro.analysis`` — run the static analysis passes.
+"""Command-line entry point for the analysis pass framework.
 
-Seven passes, all on by default (select a subset with flags):
+``python -m repro.analysis`` runs every registered pass; pass flags
+(``--source``, ``--strategies``, …, ``--races``) select a subset. Results
+render as a text report (default), a structured JSON report, or a SARIF
+2.1.0 document (``--format``), with stable exit codes:
 
-* ``--source``     AST determinism/convention lint over ``src/repro``;
-* ``--strategies`` plan every backend × primitive × benchmark topology and
-  statically verify the resulting strategies;
-* ``--traces``     run a recorded AllReduce and lint the fluid-network
-  trace for capacity/fairness/conservation invariants;
-* ``--chaos``      replay a seeded fault plan through the chaos runner and
-  lint the recorded trace: the fluid invariants must hold *through* the
-  injected link faults, chaos events must be well-formed, and the run's
-  aggregation must stay bitwise exact;
-* ``--telemetry``  with no argument, run a small instrumented collective
-  under a fresh telemetry hub and lint both the JSONL export and the
-  Chrome-trace conversion; with a path argument, lint that exported file
-  (``--telemetry run.jsonl`` / ``--telemetry run.trace.json``);
-* ``--recovery``   replay a fault plan that crashes the acting coordinator
-  (once mid-decision, once between a strategy transition's prepare and
-  commit) and partitions the control channel, then lint the control-plane
-  journal: gapless total order, epoch discipline, exactly one coordinator
-  per epoch, quorum-backed commits, paired rollbacks — and the run must
-  still aggregate bitwise exactly;
-* ``--observe``    with no argument, drive the canonical mid-training
-  interference scenario through the chaos runner with the observe
-  watchdog armed and lint the verdict log's causal chain (evidence
-  windows, verdict → re-probe → re-synthesis tracing, targeted probing,
-  hysteresis discipline) plus its detection quality against the fault
-  plan's ground truth; with a path argument, lint that exported observe
-  JSONL log instead.
+* ``0`` — every selected pass ran and no gating finding remains,
+* ``1`` — at least one finding at/above ``--fail-on`` severity survived
+  baseline suppression,
+* ``2`` — a pass crashed (internal error) or the invocation was invalid.
 
-Exits non-zero when any pass reports a violation, so CI can gate on it.
+``--jobs N`` runs independent passes in parallel; passes that swap
+process-global state (the telemetry hub) are always serialized. Findings
+are cached content-addressed per pass (``--no-cache`` / ``--cache-dir``
+to control); reports come out in canonical registry order either way, so
+SARIF output is byte-identical across runs and job counts.
+
+The legacy per-pass entry points (``run_source_pass`` & co., returning
+bare ``Violation`` records) remain importable from this module.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List
+from pathlib import Path
+from typing import Dict, List, Optional, Set
 
-from repro.analysis.verify_strategy import Violation
+from repro.analysis.cache import AnalysisCache, default_cache_dir
+from repro.analysis.findings import SEVERITIES, severity_rank
+from repro.analysis.passes import (
+    run_chaos_pass,
+    run_observe_pass,
+    run_race_pass,
+    run_recovery_pass,
+    run_source_pass,
+    run_strategy_pass,
+    run_telemetry_pass,
+    run_trace_pass,
+)
+from repro.analysis.registry import PassResult, iter_passes
+from repro.analysis.runner import run_passes
+from repro.analysis.sarif import render_text, to_json_report, to_sarif
 
+#: The legacy per-pass entry points stay importable from here.
+__all__ = [
+    "main",
+    "load_baseline",
+    "write_baseline",
+    "run_chaos_pass",
+    "run_observe_pass",
+    "run_race_pass",
+    "run_recovery_pass",
+    "run_source_pass",
+    "run_strategy_pass",
+    "run_telemetry_pass",
+    "run_trace_pass",
+]
 
-def _report(pass_name: str, violations: List[Violation]) -> bool:
-    if violations:
-        print(f"FAIL {pass_name}: {len(violations)} violation(s)")
-        for v in violations:
-            print(f"  {v}")
-        return False
-    print(f"ok   {pass_name}")
-    return True
-
-
-def run_source_pass() -> List[Violation]:
-    """Lint the repro source tree."""
-    from repro.analysis.lint_source import lint_source
-
-    return lint_source()
-
-
-def run_strategy_pass(tensor_bytes: float = 8 * 1024 * 1024) -> List[Violation]:
-    """Plan and statically verify strategies across backends and topologies.
-
-    Covers the Fig. 11–13 benchmark families: every registered backend on
-    single- and multi-server, homogeneous and mixed-SKU clusters, for each
-    primitive the backend supports (a backend declining a primitive with a
-    ``SynthesisError`` is skipped, not a violation).
-    """
-    from repro.analysis.verify_strategy import verify_strategy
-    from repro.baselines import available_backends  # noqa: F401 (registers backends)
-    from repro.bench.harness import BenchEnvironment
-    from repro.errors import SynthesisError
-    from repro.hardware.presets import make_config
-    from repro.synthesis.strategy import Primitive
-
-    configs = [
-        ("A100:(4,4)", make_config([4, 4])),
-        ("A100:(4,4) V100:(4,4)", make_config([4, 4], [4, 4])),
-        ("A100:(2,2) V100:(4,4)", make_config([2, 2], [4, 4])),
-    ]
-    primitives = [
-        Primitive.REDUCE,
-        Primitive.ALLREDUCE,
-        Primitive.BROADCAST,
-        Primitive.ALLTOALL,
-    ]
-    violations: List[Violation] = []
-    planned = skipped = 0
-    for label, specs in configs:
-        for backend_name in available_backends():
-            env = BenchEnvironment(specs, backend_name)
-            env.backend.verify = False  # this pass IS the verification
-            for primitive in primitives:
-                try:
-                    strategy = env.backend.plan(
-                        primitive, tensor_bytes, env.ranks
-                    )
-                except SynthesisError:
-                    skipped += 1
-                    continue
-                planned += 1
-                for v in verify_strategy(strategy, env.topology):
-                    violations.append(
-                        Violation(
-                            v.check,
-                            f"{backend_name}/{primitive.value}/{label}/{v.subject}",
-                            v.detail,
-                        )
-                    )
-    print(
-        f"     strategies: verified {planned} planned strategies "
-        f"({skipped} unsupported combinations skipped)"
-    )
-    return violations
+#: Schema of the baseline (suppression) file.
+BASELINE_SCHEMA = 1
 
 
-def run_trace_pass() -> List[Violation]:
-    """Execute one recorded AllReduce and lint the network trace."""
-    import numpy as np
-
-    from repro.analysis.lint_trace import lint_trace
-    from repro.bench.harness import BenchEnvironment
-    from repro.hardware.presets import make_config
-    from repro.simulation.records import TraceRecorder
-    from repro.synthesis.strategy import Primitive
-
-    env = BenchEnvironment(make_config([4, 4]), "adapcc")
-    env.backend.verify = False
-    recorder = TraceRecorder()
-    env.cluster.network.attach_recorder(recorder)
-    inputs = {rank: np.full(1024, float(rank + 1)) for rank in env.ranks}
-    strategy = env.backend.plan(Primitive.ALLREDUCE, 4 * 1024 * 1024, env.ranks)
-    env.backend.run(strategy, inputs, byte_scale=4 * 1024 * 1024 / (1024 * 8.0))
-    print(f"     traces: linted {len(recorder.records)} trace records")
-    return lint_trace(recorder.records)
-
-
-def run_chaos_pass(seed: int = 23) -> List[Violation]:
-    """Replay one seeded fault plan with a recorder attached and lint it."""
-    from repro.analysis.lint_chaos import lint_chaos
-    from repro.chaos import ChaosRunner, FaultPlan
-    from repro.hardware.presets import make_homo_cluster
-    from repro.simulation.records import TraceRecorder
-
-    specs = make_homo_cluster(num_servers=2, gpus_per_server=4)
-    plan = FaultPlan.generate(
-        seed=seed,
-        world=8,
-        iterations=3,
-        straggler_rate=0.4,
-        crash_rate=0.3,
-        link_fault_rate=0.6,
-        num_instances=2,
-    )
-    recorder = TraceRecorder()
-    report = ChaosRunner(specs, plan, length=512, recorder=recorder).run()
-    print(
-        f"     chaos: replayed seed {seed} — {len(plan.stragglers)} stragglers, "
-        f"{len(plan.crashes)} crashes, {len(plan.link_faults)} link faults; "
-        f"linted {len(recorder.records)} trace records"
-    )
-    violations = lint_chaos(recorder.records)
-    if not report.all_exact:
-        violations.append(
-            Violation(
-                "chaos-exactness",
-                f"seed{seed}",
-                "a chaos iteration's AllReduce was not bitwise exact",
-            )
+def load_baseline(path: Path) -> Set[str]:
+    """Suppression keys from a baseline file (empty set if absent)."""
+    if not path.is_file():
+        return set()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline {path} has schema {payload.get('schema')!r}; "
+            f"expected {BASELINE_SCHEMA}"
         )
-    return violations
+    return set(payload.get("suppressions", []))
 
 
-def run_recovery_pass(seed: int = 29) -> List[Violation]:
-    """Crash the coordinator (both phases), partition, then lint the journal."""
-    from repro.analysis.lint_recovery import lint_recovery
-    from repro.chaos import (
-        ChaosRunner,
-        CoordinatorCrashFault,
-        FaultPlan,
-        PartitionFault,
+def write_baseline(path: Path, results: List[PassResult]) -> int:
+    """Write every current finding's suppression key to ``path``."""
+    keys = sorted(
+        {f.suppression_key for result in results for f in result.findings}
     )
-    from repro.hardware.presets import make_homo_cluster
-
-    specs = make_homo_cluster(num_servers=2, gpus_per_server=4)
-    plan = FaultPlan(
-        seed=seed,
-        iterations=5,
-        coordinator_crashes=(
-            CoordinatorCrashFault(1, "decide"),
-            CoordinatorCrashFault(3, "transition"),
-        ),
-        partitions=(PartitionFault((0,), 2, 4),),
+    payload = {"schema": BASELINE_SCHEMA, "suppressions": keys}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
-    runner = ChaosRunner(specs, plan, length=512)
-    report = runner.run()
-    log = runner.control_plane.log
-    print(
-        f"     recovery: seed {seed} — {report.elections} elections, "
-        f"{report.fenced_messages} fenced messages, {report.rollbacks} "
-        f"rollback(s), {report.replayed_records} replayed records; "
-        f"linted {len(log)} journal records"
-    )
-    violations = lint_recovery(log)
-    if not report.all_exact:
-        violations.append(
-            Violation(
-                "recovery-exactness",
-                f"seed{seed}",
-                "a coordinator-crash iteration's AllReduce was not bitwise exact",
-            )
-        )
-    if report.elections < 2 or report.rollbacks < 1:
-        violations.append(
-            Violation(
-                "recovery-coverage",
-                f"seed{seed}",
-                "the recovery scenario did not exercise both failover phases",
-            )
-        )
-    return violations
+    return len(keys)
 
 
-def run_telemetry_pass(target=None) -> List[Violation]:
-    """Lint exported telemetry — a given file, or a fresh self-check run.
-
-    With ``target`` a path, lint that file (JSONL run or Chrome trace,
-    detected by content). With ``target`` true-ish-but-not-a-path (the
-    bare ``--telemetry`` flag), install a fresh enabled hub, run one
-    adaptive AllReduce with a straggler so every layer emits, and lint
-    both export formats in memory; the previous hub is restored after.
-    """
-    from repro.analysis.lint_telemetry import (
-        lint_chrome_trace,
-        lint_telemetry_file,
-        lint_telemetry_run,
-    )
-
-    if isinstance(target, str):
-        violations = lint_telemetry_file(target)
-        print(f"     telemetry: linted {target}")
-        return violations
-
-    import numpy as np
-
-    from repro.adapcc import AdapCCSession
-    from repro.hardware.presets import make_config
-    from repro.telemetry.core import TelemetryHub, hub, set_hub
-    from repro.telemetry.export import parse_jsonl, to_chrome_trace, to_jsonl
-
-    previous = hub()
-    fresh = TelemetryHub(enabled=True)
-    set_hub(fresh)
-    try:
-        session = AdapCCSession(make_config([2, 2], [2, 2]))
-        session.init()
-        session.setup()
-        tensors = {rank: np.full(256, float(rank + 1)) for rank in range(4)}
-        ready = {0: 0.0, 1: 0.0, 2: 0.0, 3: 0.5}
-        session.allreduce(tensors, ready_times=ready)
-        jsonl = to_jsonl(fresh)
-        chrome = to_chrome_trace(fresh)
-    finally:
-        set_hub(previous)
-    violations = lint_telemetry_run(parse_jsonl(jsonl))
-    violations.extend(lint_chrome_trace(chrome))
-    print(
-        f"     telemetry: self-check exported {len(fresh.tracer.spans)} spans, "
-        f"{len(fresh.tracer.events)} events; linted JSONL + Chrome forms"
-    )
-    return violations
+def _list_passes() -> int:
+    for spec in iter_passes():
+        flags = []
+        if spec.serial:
+            flags.append("serial")
+        if spec.accepts_target:
+            flags.append("accepts FILE")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        print(f"{spec.name:<12} {spec.description}{suffix}")
+        codes = ", ".join(f"{r.code}({r.severity[0]})" for r in spec.rules)
+        print(f"{'':<12} codes: {codes}")
+    return 0
 
 
-def run_observe_pass(target=None, seed: int = 11) -> List[Violation]:
-    """Lint an observe log — a given file, or a fresh closed-loop run.
-
-    With ``target`` a path, lint that exported observe JSONL file. With
-    the bare ``--observe`` flag, install a fresh enabled telemetry hub,
-    replay the canonical interference fault plan through the chaos runner
-    with the watchdog armed, and check both the log's causal chain and
-    its detection quality (the injected fault must be detected, and the
-    loop must actually have re-probed and re-synthesized).
-    """
-    from repro.analysis.lint_observe import lint_observe_file, lint_observe_records
-
-    if isinstance(target, str):
-        violations = lint_observe_file(target)
-        print(f"     observe: linted {target}")
-        return violations
-
-    from repro.chaos import ChaosRunner, FaultPlan
-    from repro.hardware.presets import make_homo_cluster
-    from repro.observe import ObserveConfig, evaluate_detection
-    from repro.telemetry.core import TelemetryHub, hub, set_hub
-
-    specs = make_homo_cluster(num_servers=2, gpus_per_server=4)
-    plan = FaultPlan.interference(seed=seed, iterations=24)
-    previous = hub()
-    set_hub(TelemetryHub(enabled=True))
-    try:
-        runner = ChaosRunner(
-            specs, plan, length=512, byte_scale=200_000.0, observe=ObserveConfig()
-        )
-        report = runner.run()
-    finally:
-        set_hub(previous)
-    watchdog = runner.watchdog
-    quality = evaluate_detection(watchdog.log.verdicts, plan.ground_truth())
-    print(
-        f"     observe: seed {seed} — {watchdog.verdicts_raised} verdict(s), "
-        f"{watchdog.reprobes_run} targeted re-probe(s), "
-        f"{watchdog.resyntheses_triggered} re-synthesis(es); recall "
-        f"{quality.recall:.2f}, precision {quality.precision:.2f}; "
-        f"linted {len(watchdog.log)} log records"
-    )
-    violations = lint_observe_records(watchdog.log.records)
-    if quality.recall < 1.0:
-        violations.append(
-            Violation(
-                "observe-detection",
-                f"seed{seed}",
-                "the watchdog missed the injected interference fault",
-            )
-        )
-    if quality.precision < 1.0:
-        violations.append(
-            Violation(
-                "observe-detection",
-                f"seed{seed}",
-                f"{len(quality.false_positives)} verdict(s) match no injected fault",
-            )
-        )
-    if watchdog.reprobes_run < 1 or watchdog.resyntheses_triggered < 1:
-        violations.append(
-            Violation(
-                "observe-loop",
-                f"seed{seed}",
-                "the scenario did not close the loop (no re-probe or no "
-                "re-synthesis)",
-            )
-        )
-    if not report.all_exact:
-        violations.append(
-            Violation(
-                "observe-exactness",
-                f"seed{seed}",
-                "an observed iteration's AllReduce was not bitwise exact",
-            )
-        )
-    return violations
-
-
-def main(argv=None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Static analysis passes for the AdapCC reproduction.",
+        description="Analysis pass framework for the AdapCC reproduction.",
     )
-    parser.add_argument("--source", action="store_true", help="run only the source lint")
     parser.add_argument(
-        "--strategies", action="store_true", help="run only the strategy verifier"
+        "--list", action="store_true", help="list registered passes and exit"
     )
-    parser.add_argument("--traces", action="store_true", help="run only the trace lint")
-    parser.add_argument("--chaos", action="store_true", help="run only the chaos lint")
     parser.add_argument(
-        "--recovery", action="store_true", help="run only the recovery-journal lint"
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", help="write the report to FILE instead of stdout"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run up to N independent passes in parallel (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental findings cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="cache directory (default: $REPRO_ANALYSIS_CACHE or "
+        ".repro-analysis-cache)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=SEVERITIES,
+        default="error",
+        help="lowest severity that causes exit code 1 (default: error)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppression baseline: findings whose keys it lists do not gate",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write all current findings' suppression keys to FILE",
+    )
+    parser.add_argument(
+        "--source", action="store_true", help="select the source lint"
+    )
+    parser.add_argument(
+        "--strategies", action="store_true", help="select the strategy verifier"
+    )
+    parser.add_argument("--traces", action="store_true", help="select the trace lint")
+    parser.add_argument("--chaos", action="store_true", help="select the chaos lint")
+    parser.add_argument(
+        "--recovery", action="store_true", help="select the recovery-journal lint"
+    )
+    parser.add_argument(
+        "--races", action="store_true", help="select the sim-determinism race detector"
     )
     parser.add_argument(
         "--telemetry",
@@ -370,7 +173,7 @@ def main(argv=None) -> int:
         const=True,
         default=False,
         metavar="FILE",
-        help="run only the telemetry lint; optionally against an exported "
+        help="select the telemetry lint; optionally against an exported "
         "JSONL run or Chrome trace file",
     )
     parser.add_argument(
@@ -379,39 +182,96 @@ def main(argv=None) -> int:
         const=True,
         default=False,
         metavar="FILE",
-        help="run only the observe lint; optionally against an exported "
+        help="select the observe lint; optionally against an exported "
         "observe JSONL log",
     )
-    args = parser.parse_args(argv)
-    selected = [
-        args.source,
-        args.strategies,
-        args.traces,
-        args.chaos,
-        args.recovery,
-        args.telemetry is not False,
-        args.observe is not False,
-    ]
-    run_all = not any(selected)
+    return parser
 
-    ok = True
-    if run_all or args.source:
-        ok &= _report("source lint", run_source_pass())
-    if run_all or args.strategies:
-        ok &= _report("strategy verifier", run_strategy_pass())
-    if run_all or args.traces:
-        ok &= _report("trace lint", run_trace_pass())
-    if run_all or args.chaos:
-        ok &= _report("chaos lint", run_chaos_pass())
-    if run_all or args.recovery:
-        ok &= _report("recovery lint", run_recovery_pass())
-    if run_all or args.telemetry is not False:
-        target = args.telemetry if isinstance(args.telemetry, str) else None
-        ok &= _report("telemetry lint", run_telemetry_pass(target))
-    if run_all or args.observe is not False:
-        target = args.observe if isinstance(args.observe, str) else None
-        ok &= _report("observe lint", run_observe_pass(target))
-    return 0 if ok else 1
+
+def _selection(args) -> Optional[List[str]]:
+    """Pass names selected by the flags (``None`` = all passes)."""
+    names = [
+        name
+        for name, on in (
+            ("source", args.source),
+            ("strategies", args.strategies),
+            ("traces", args.traces),
+            ("chaos", args.chaos),
+            ("recovery", args.recovery),
+            ("telemetry", args.telemetry is not False),
+            ("observe", args.observe is not False),
+            ("races", args.races),
+        )
+        if on
+    ]
+    return names or None
+
+
+def main(argv=None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        return _list_passes()
+
+    cache = None
+    if not args.no_cache:
+        directory = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+        cache = AnalysisCache(directory)
+    targets: Dict[str, str] = {}
+    if isinstance(args.telemetry, str):
+        targets["telemetry"] = args.telemetry
+    if isinstance(args.observe, str):
+        targets["observe"] = args.observe
+
+    try:
+        baseline = load_baseline(Path(args.baseline)) if args.baseline else set()
+    except (ValueError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: unreadable baseline: {exc}", file=sys.stderr)
+        return 2
+
+    results = run_passes(
+        names=_selection(args),
+        jobs=max(1, args.jobs),
+        cache=cache,
+        targets=targets,
+    )
+
+    if args.write_baseline:
+        count = write_baseline(Path(args.write_baseline), results)
+        print(
+            f"wrote {count} suppression(s) to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        baseline |= {
+            f.suppression_key for result in results for f in result.findings
+        }
+
+    if args.format == "text":
+        report = "\n".join(render_text(results, suppressed=baseline)) + "\n"
+    else:
+        # Progress notes go to stderr so machine-readable stdout stays clean.
+        for result in results:
+            for note in result.notes:
+                print(f"[{result.spec.name}] {note}", file=sys.stderr)
+        report = (
+            to_sarif(results) if args.format == "sarif" else to_json_report(results)
+        )
+    if args.output:
+        Path(args.output).write_text(report, encoding="utf-8")
+    else:
+        sys.stdout.write(report)
+
+    if any(result.error is not None for result in results):
+        return 2
+    threshold = severity_rank(args.fail_on)
+    gating = [
+        finding
+        for result in results
+        for finding in result.findings
+        if severity_rank(finding.severity) >= threshold
+        and finding.suppression_key not in baseline
+    ]
+    return 1 if gating else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,132 @@
+"""Structured findings — the pass framework's result model (DESIGN.md §10).
+
+A :class:`Finding` replaces the bare :class:`~repro.analysis.verify_strategy.Violation`
+string triple as the unit of analysis output. It carries everything an
+exporter or CI annotator needs:
+
+* ``code`` — the stable kebab-case rule identifier (``wall-clock``,
+  ``race-unordered-iteration``, …), the SARIF ``ruleId``;
+* ``severity`` — ``error`` (invariant broken, CI-gating), ``warning``
+  (heuristic hazard, baseline-suppressible) or ``note`` (informational);
+* ``pass_name`` — which registered pass produced it;
+* ``message`` / ``subject`` — the human explanation and its locator;
+* ``file`` / ``line`` — a physical location when the finding anchors to
+  source (AST passes fill these; scenario passes leave them ``None``);
+* ``suppression_key`` — a stable key for baseline files: findings keep
+  the same key across unrelated edits (no line numbers), so a committed
+  baseline keeps suppressing exactly the findings it was written for.
+
+Findings serialize to/from plain dicts so the incremental cache can store
+them as JSON and replay them without re-running the pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.verify_strategy import Violation
+
+#: Severity levels, ordered least → most severe. The names match SARIF
+#: 2.1.0 ``level`` values so exporters need no mapping table.
+SEVERITIES = ("note", "warning", "error")
+
+SEVERITY_NOTE = "note"
+SEVERITY_WARNING = "warning"
+SEVERITY_ERROR = "error"
+
+
+def severity_rank(severity: str) -> int:
+    """Position of ``severity`` in the ``note < warning < error`` order."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        raise ValueError(f"unknown severity {severity!r}; expected one of {SEVERITIES}")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One structured analysis finding (see module docstring)."""
+
+    code: str
+    message: str
+    pass_name: str = ""
+    severity: str = SEVERITY_ERROR
+    subject: str = ""
+    file: Optional[str] = None
+    line: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        severity_rank(self.severity)  # validate eagerly
+
+    @property
+    def suppression_key(self) -> str:
+        """Stable baseline key: pass, code and file (or subject), no line."""
+        anchor = self.file if self.file is not None else self.subject
+        return f"{self.pass_name}:{self.code}:{anchor}"
+
+    def __str__(self) -> str:
+        where = self.subject
+        if self.file is not None:
+            where = self.file if self.line is None else f"{self.file}:{self.line}"
+        return f"[{self.code}] {where}: {self.message}"
+
+    # -- serialization (cache + JSON report) --------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "pass": self.pass_name,
+            "severity": self.severity,
+            "subject": self.subject,
+            "file": self.file,
+            "line": self.line,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Finding":
+        return cls(
+            code=payload["code"],
+            message=payload["message"],
+            pass_name=payload.get("pass", ""),
+            severity=payload.get("severity", SEVERITY_ERROR),
+            subject=payload.get("subject", ""),
+            file=payload.get("file"),
+            line=payload.get("line"),
+        )
+
+
+def from_violation(
+    violation: Violation,
+    pass_name: str,
+    severity: str = SEVERITY_ERROR,
+) -> Finding:
+    """Lift a legacy :class:`Violation` into a :class:`Finding`.
+
+    Source-lint subjects are ``path:lineno`` locators; those split into a
+    physical location so SARIF consumers can annotate the file. Scenario
+    subjects (``sc0.flow2``, ``seed23``) stay opaque.
+    """
+    file: Optional[str] = None
+    line: Optional[int] = None
+    subject = violation.subject
+    head, sep, tail = subject.rpartition(":")
+    if sep and tail.isdigit() and ("/" in head or head.endswith(".py")):
+        file, line = head, int(tail)
+    return Finding(
+        code=violation.check,
+        message=violation.detail,
+        pass_name=pass_name,
+        severity=severity,
+        subject=subject,
+        file=file,
+        line=line,
+    )
+
+
+def from_violations(
+    violations: List[Violation], pass_name: str, severity: str = SEVERITY_ERROR
+) -> List[Finding]:
+    """Lift a list of legacy violations (see :func:`from_violation`)."""
+    return [from_violation(v, pass_name, severity) for v in violations]

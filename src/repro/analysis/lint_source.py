@@ -43,6 +43,15 @@ DETERMINISTIC_DIRS = (
 _WALL_CLOCK_TIME = {"time", "time_ns", "localtime", "gmtime", "ctime", "asctime"}
 #: ``datetime``/``date`` constructors that read the host wall clock.
 _WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+#: Fully-qualified callables that read the host wall clock. Matching runs
+#: on *resolved* names, so ``from time import time``, ``import time as t``
+#: and ``from datetime import datetime as dt; dt.now()`` are all caught,
+#: not just the literal ``time.time()`` attribute form.
+_WALL_CLOCK_QUALIFIED = (
+    {f"time.{attr}" for attr in _WALL_CLOCK_TIME}
+    | {f"datetime.datetime.{attr}" for attr in _WALL_CLOCK_DATETIME}
+    | {f"datetime.date.{attr}" for attr in _WALL_CLOCK_DATETIME}
+)
 
 #: Banned abbreviated unit suffixes -> the SI spelling to use instead.
 BANNED_SUFFIXES = {
@@ -102,6 +111,10 @@ class _Checker(ast.NodeVisitor):
         self.rel = rel
         self.in_deterministic = in_deterministic
         self.violations: List[Violation] = []
+        #: Local alias -> fully-qualified origin, filled from import
+        #: statements (``{"t": "time", "now": "time.time"}``), so wall
+        #: clock matching resolves aliased and ``from``-imported names.
+        self._imports: dict = {}
 
     def _add(self, check: str, node: ast.AST, detail: str) -> None:
         self.violations.append(
@@ -118,6 +131,11 @@ class _Checker(ast.NodeVisitor):
                     node,
                     "stdlib `random` is banned; thread a numpy Generator instead",
                 )
+            if alias.asname:
+                self._imports[alias.asname] = alias.name
+            else:
+                top = alias.name.split(".", 1)[0]
+                self._imports[top] = top
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -127,7 +145,21 @@ class _Checker(ast.NodeVisitor):
                 node,
                 "stdlib `random` is banned; thread a numpy Generator instead",
             )
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self._imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
         self.generic_visit(node)
+
+    def _resolve(self, node: ast.expr) -> Optional[str]:
+        """Fully-qualified dotted name of an expression, via import aliases."""
+        if isinstance(node, ast.Name):
+            return self._imports.get(node.id, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self._resolve(node.value)
+            return None if base is None else f"{base}.{node.attr}"
+        return None
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
@@ -143,23 +175,21 @@ class _Checker(ast.NodeVisitor):
                     node,
                     "numpy.random.seed mutates global state; use np.random.default_rng",
                 )
-            if self.in_deterministic:
-                base = func.value
-                if isinstance(base, ast.Name):
-                    if base.id == "time" and func.attr in _WALL_CLOCK_TIME:
-                        self._add(
-                            "wall-clock",
-                            node,
-                            f"time.{func.attr}() reads the host clock inside "
-                            "deterministic code; use the simulator clock or perf_counter",
-                        )
-                    if base.id in ("datetime", "date") and func.attr in _WALL_CLOCK_DATETIME:
-                        self._add(
-                            "wall-clock",
-                            node,
-                            f"{base.id}.{func.attr}() reads the host clock inside "
-                            "deterministic code",
-                        )
+        if self.in_deterministic:
+            resolved = self._resolve(func)
+            # ``from datetime import datetime; datetime.now()`` resolves to
+            # ``datetime.datetime.now``; the bare ``datetime.now``/``date.now``
+            # spellings cover direct module-style access.
+            if resolved is not None and (
+                resolved in _WALL_CLOCK_QUALIFIED
+                or f"datetime.{resolved}" in _WALL_CLOCK_QUALIFIED
+            ):
+                self._add(
+                    "wall-clock",
+                    node,
+                    f"`{resolved}` reads the host clock inside deterministic "
+                    "code; use the simulator clock or perf_counter",
+                )
         self.generic_visit(node)
 
     # -- unit suffixes ----------------------------------------------------------

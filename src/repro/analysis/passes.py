@@ -1,0 +1,689 @@
+"""The built-in analysis passes, registered with the pass framework.
+
+The eight pass bodies live here (the scenario passes moved out of
+``__main__`` when the CLI became a thin shell over the framework). Each
+legacy entry point still returns bare :class:`Violation` records — tests
+and the executor pre-flight keep importing those — and a thin registered
+wrapper lifts them into structured :class:`Finding` records with the
+pass's default severity.
+
+Heavy imports happen inside each function: the CLI must stay importable
+(for ``--list``) without dragging in numpy, the simulator, or the whole
+runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.analysis.findings import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Finding,
+    from_violations,
+)
+from repro.analysis.registry import PassContext, PassSpec, RuleSpec, register
+from repro.analysis.verify_strategy import Violation
+
+Echo = Callable[[str], None]
+
+
+def _silent(message: str) -> None:
+    pass
+
+
+# -- legacy pass bodies (return bare Violations; importable directly) ------------------
+
+
+def run_source_pass(root=None, echo: Echo = _silent) -> List[Violation]:
+    """Lint the repro source tree."""
+    from repro.analysis.lint_source import lint_source
+
+    return lint_source(root=root)
+
+
+def run_race_pass(root=None, echo: Echo = _silent) -> List[Finding]:
+    """Static determinism-hazard lint + dynamic happens-before check.
+
+    The static half walks the order-sensitive sub-packages (or ``root``
+    when given — tests point it at seeded hazard fixtures). The dynamic
+    half — only on the real tree — plans one AllReduce, executes it under
+    a fresh telemetry hub, and replays the exported run against the
+    strategy's chunk-dependency DAG with vector clocks.
+    """
+    from repro.analysis.race import lint_determinism_hazards
+
+    findings = list(lint_determinism_hazards(root=root))
+    if root is not None:
+        return findings
+
+    import numpy as np
+
+    from repro.analysis.cache import fingerprint_strategy
+    from repro.analysis.race import check_run_against_dag
+    from repro.bench.harness import BenchEnvironment
+    from repro.hardware.presets import make_config
+    from repro.synthesis.strategy import Primitive
+    from repro.telemetry.core import TelemetryHub, hub, set_hub
+    from repro.telemetry.export import parse_jsonl, to_jsonl
+
+    previous = hub()
+    fresh = TelemetryHub(enabled=True)
+    set_hub(fresh)
+    try:
+        env = BenchEnvironment(make_config([2, 2]), "adapcc")
+        env.backend.verify = False
+        inputs = {rank: np.full(1024, float(rank + 1)) for rank in env.ranks}
+        strategy = env.backend.plan(Primitive.ALLREDUCE, 4 * 1024 * 1024, env.ranks)
+        env.backend.run(
+            strategy, inputs, byte_scale=4 * 1024 * 1024 / (1024 * 8.0)
+        )
+        run = parse_jsonl(to_jsonl(fresh))
+    finally:
+        set_hub(previous)
+    dynamic = check_run_against_dag(strategy, run)
+    echo(
+        f"races: {len(findings)} static hazard(s); checked "
+        f"{len(run.spans)} spans against the chunk DAG of strategy "
+        f"{fingerprint_strategy(strategy)[:12]} — {len(dynamic)} race(s)"
+    )
+    findings.extend(dynamic)
+    return findings
+
+
+def run_strategy_pass(
+    tensor_bytes: float = 8 * 1024 * 1024, echo: Echo = _silent
+) -> List[Violation]:
+    """Plan and statically verify strategies across backends and topologies.
+
+    Covers the Fig. 11–13 benchmark families: every registered backend on
+    single- and multi-server, homogeneous and mixed-SKU clusters, for each
+    primitive the backend supports (a backend declining a primitive with a
+    ``SynthesisError`` is skipped, not a violation).
+    """
+    from repro.analysis.verify_strategy import verify_strategy
+    from repro.baselines import available_backends
+    from repro.bench.harness import BenchEnvironment
+    from repro.errors import SynthesisError
+    from repro.hardware.presets import make_config
+    from repro.synthesis.strategy import Primitive
+
+    configs = [
+        ("A100:(4,4)", make_config([4, 4])),
+        ("A100:(4,4) V100:(4,4)", make_config([4, 4], [4, 4])),
+        ("A100:(2,2) V100:(4,4)", make_config([2, 2], [4, 4])),
+    ]
+    primitives = [
+        Primitive.REDUCE,
+        Primitive.ALLREDUCE,
+        Primitive.BROADCAST,
+        Primitive.ALLTOALL,
+    ]
+    violations: List[Violation] = []
+    planned = skipped = 0
+    for label, specs in configs:
+        for backend_name in available_backends():
+            env = BenchEnvironment(specs, backend_name)
+            env.backend.verify = False  # this pass IS the verification
+            for primitive in primitives:
+                try:
+                    strategy = env.backend.plan(
+                        primitive, tensor_bytes, env.ranks
+                    )
+                except SynthesisError:
+                    skipped += 1
+                    continue
+                planned += 1
+                for v in verify_strategy(strategy, env.topology):
+                    violations.append(
+                        Violation(
+                            v.check,
+                            f"{backend_name}/{primitive.value}/{label}/{v.subject}",
+                            v.detail,
+                        )
+                    )
+    echo(
+        f"strategies: verified {planned} planned strategies "
+        f"({skipped} unsupported combinations skipped)"
+    )
+    return violations
+
+
+def run_trace_pass(echo: Echo = _silent) -> List[Violation]:
+    """Execute one recorded AllReduce and lint the network trace."""
+    import numpy as np
+
+    from repro.analysis.lint_trace import lint_trace
+    from repro.bench.harness import BenchEnvironment
+    from repro.hardware.presets import make_config
+    from repro.simulation.records import TraceRecorder
+    from repro.synthesis.strategy import Primitive
+
+    env = BenchEnvironment(make_config([4, 4]), "adapcc")
+    env.backend.verify = False
+    recorder = TraceRecorder()
+    env.cluster.network.attach_recorder(recorder)
+    inputs = {rank: np.full(1024, float(rank + 1)) for rank in env.ranks}
+    strategy = env.backend.plan(Primitive.ALLREDUCE, 4 * 1024 * 1024, env.ranks)
+    env.backend.run(strategy, inputs, byte_scale=4 * 1024 * 1024 / (1024 * 8.0))
+    echo(f"traces: linted {len(recorder.records)} trace records")
+    return lint_trace(recorder.records)
+
+
+def run_chaos_pass(seed: int = 23, echo: Echo = _silent) -> List[Violation]:
+    """Replay one seeded fault plan with a recorder attached and lint it."""
+    from repro.analysis.lint_chaos import lint_chaos
+    from repro.chaos import ChaosRunner, FaultPlan
+    from repro.hardware.presets import make_homo_cluster
+    from repro.simulation.records import TraceRecorder
+
+    specs = make_homo_cluster(num_servers=2, gpus_per_server=4)
+    plan = FaultPlan.generate(
+        seed=seed,
+        world=8,
+        iterations=3,
+        straggler_rate=0.4,
+        crash_rate=0.3,
+        link_fault_rate=0.6,
+        num_instances=2,
+    )
+    recorder = TraceRecorder()
+    report = ChaosRunner(specs, plan, length=512, recorder=recorder).run()
+    echo(
+        f"chaos: replayed seed {seed} — {len(plan.stragglers)} stragglers, "
+        f"{len(plan.crashes)} crashes, {len(plan.link_faults)} link faults; "
+        f"linted {len(recorder.records)} trace records"
+    )
+    violations = lint_chaos(recorder.records)
+    if not report.all_exact:
+        violations.append(
+            Violation(
+                "chaos-exactness",
+                f"seed{seed}",
+                "a chaos iteration's AllReduce was not bitwise exact",
+            )
+        )
+    return violations
+
+
+def run_recovery_pass(seed: int = 29, echo: Echo = _silent) -> List[Violation]:
+    """Crash the coordinator (both phases), partition, then lint the journal."""
+    from repro.analysis.lint_recovery import lint_recovery
+    from repro.chaos import (
+        ChaosRunner,
+        CoordinatorCrashFault,
+        FaultPlan,
+        PartitionFault,
+    )
+    from repro.hardware.presets import make_homo_cluster
+
+    specs = make_homo_cluster(num_servers=2, gpus_per_server=4)
+    plan = FaultPlan(
+        seed=seed,
+        iterations=5,
+        coordinator_crashes=(
+            CoordinatorCrashFault(1, "decide"),
+            CoordinatorCrashFault(3, "transition"),
+        ),
+        partitions=(PartitionFault((0,), 2, 4),),
+    )
+    runner = ChaosRunner(specs, plan, length=512)
+    report = runner.run()
+    log = runner.control_plane.log
+    echo(
+        f"recovery: seed {seed} — {report.elections} elections, "
+        f"{report.fenced_messages} fenced messages, {report.rollbacks} "
+        f"rollback(s), {report.replayed_records} replayed records; "
+        f"linted {len(log)} journal records"
+    )
+    violations = lint_recovery(log)
+    if not report.all_exact:
+        violations.append(
+            Violation(
+                "recovery-exactness",
+                f"seed{seed}",
+                "a coordinator-crash iteration's AllReduce was not bitwise exact",
+            )
+        )
+    if report.elections < 2 or report.rollbacks < 1:
+        violations.append(
+            Violation(
+                "recovery-coverage",
+                f"seed{seed}",
+                "the recovery scenario did not exercise both failover phases",
+            )
+        )
+    return violations
+
+
+def run_telemetry_pass(target=None, echo: Echo = _silent) -> List[Violation]:
+    """Lint exported telemetry — a given file, or a fresh self-check run.
+
+    With ``target`` a path, lint that file (JSONL run or Chrome trace,
+    detected by content). With ``target`` true-ish-but-not-a-path (the
+    bare ``--telemetry`` flag), install a fresh enabled hub, run one
+    adaptive AllReduce with a straggler so every layer emits, and lint
+    both export formats in memory; the previous hub is restored after.
+    """
+    from repro.analysis.lint_telemetry import (
+        lint_chrome_trace,
+        lint_telemetry_file,
+        lint_telemetry_run,
+    )
+
+    if isinstance(target, str):
+        violations = lint_telemetry_file(target)
+        echo(f"telemetry: linted {target}")
+        return violations
+
+    import numpy as np
+
+    from repro.adapcc import AdapCCSession
+    from repro.hardware.presets import make_config
+    from repro.telemetry.core import TelemetryHub, hub, set_hub
+    from repro.telemetry.export import parse_jsonl, to_chrome_trace, to_jsonl
+
+    previous = hub()
+    fresh = TelemetryHub(enabled=True)
+    set_hub(fresh)
+    try:
+        session = AdapCCSession(make_config([2, 2], [2, 2]))
+        session.init()
+        session.setup()
+        tensors = {rank: np.full(256, float(rank + 1)) for rank in range(4)}
+        ready = {0: 0.0, 1: 0.0, 2: 0.0, 3: 0.5}
+        session.allreduce(tensors, ready_times=ready)
+        jsonl = to_jsonl(fresh)
+        chrome = to_chrome_trace(fresh)
+    finally:
+        set_hub(previous)
+    violations = lint_telemetry_run(parse_jsonl(jsonl))
+    violations.extend(lint_chrome_trace(chrome))
+    echo(
+        f"telemetry: self-check exported {len(fresh.tracer.spans)} spans, "
+        f"{len(fresh.tracer.events)} events; linted JSONL + Chrome forms"
+    )
+    return violations
+
+
+def run_observe_pass(
+    target=None, seed: int = 11, echo: Echo = _silent
+) -> List[Violation]:
+    """Lint an observe log — a given file, or a fresh closed-loop run.
+
+    With ``target`` a path, lint that exported observe JSONL file. With
+    the bare ``--observe`` flag, install a fresh enabled telemetry hub,
+    replay the canonical interference fault plan through the chaos runner
+    with the watchdog armed, and check both the log's causal chain and
+    its detection quality (the injected fault must be detected, and the
+    loop must actually have re-probed and re-synthesized).
+    """
+    from repro.analysis.lint_observe import lint_observe_file, lint_observe_records
+
+    if isinstance(target, str):
+        violations = lint_observe_file(target)
+        echo(f"observe: linted {target}")
+        return violations
+
+    from repro.chaos import ChaosRunner, FaultPlan
+    from repro.hardware.presets import make_homo_cluster
+    from repro.observe import ObserveConfig, evaluate_detection
+    from repro.telemetry.core import TelemetryHub, hub, set_hub
+
+    specs = make_homo_cluster(num_servers=2, gpus_per_server=4)
+    plan = FaultPlan.interference(seed=seed, iterations=24)
+    previous = hub()
+    set_hub(TelemetryHub(enabled=True))
+    try:
+        runner = ChaosRunner(
+            specs, plan, length=512, byte_scale=200_000.0, observe=ObserveConfig()
+        )
+        report = runner.run()
+    finally:
+        set_hub(previous)
+    watchdog = runner.watchdog
+    quality = evaluate_detection(watchdog.log.verdicts, plan.ground_truth())
+    echo(
+        f"observe: seed {seed} — {watchdog.verdicts_raised} verdict(s), "
+        f"{watchdog.reprobes_run} targeted re-probe(s), "
+        f"{watchdog.resyntheses_triggered} re-synthesis(es); recall "
+        f"{quality.recall:.2f}, precision {quality.precision:.2f}; "
+        f"linted {len(watchdog.log)} log records"
+    )
+    violations = lint_observe_records(watchdog.log.records)
+    if quality.recall < 1.0:
+        violations.append(
+            Violation(
+                "observe-detection",
+                f"seed{seed}",
+                "the watchdog missed the injected interference fault",
+            )
+        )
+    if quality.precision < 1.0:
+        violations.append(
+            Violation(
+                "observe-detection",
+                f"seed{seed}",
+                f"{len(quality.false_positives)} verdict(s) match no injected fault",
+            )
+        )
+    if watchdog.reprobes_run < 1 or watchdog.resyntheses_triggered < 1:
+        violations.append(
+            Violation(
+                "observe-loop",
+                f"seed{seed}",
+                "the scenario did not close the loop (no re-probe or no "
+                "re-synthesis)",
+            )
+        )
+    if not report.all_exact:
+        violations.append(
+            Violation(
+                "observe-exactness",
+                f"seed{seed}",
+                "an observed iteration's AllReduce was not bitwise exact",
+            )
+        )
+    return violations
+
+
+# -- registration ---------------------------------------------------------------------
+
+
+def _rules(severity: str, *codes: str) -> tuple:
+    return tuple(RuleSpec(code, severity, desc) for code, desc in codes)
+
+
+def _err(*codes) -> tuple:
+    return _rules(SEVERITY_ERROR, *codes)
+
+
+register(
+    PassSpec(
+        name="source",
+        description="AST determinism/convention lint over src/repro",
+        title="source lint",
+        rules=_err(
+            ("syntax", "file does not parse"),
+            ("ambient-random", "stdlib random / numpy global seed used"),
+            ("wall-clock", "host wall clock read inside deterministic code"),
+            ("unit-suffix", "abbreviated unit suffix on a public name"),
+        ),
+        run=lambda ctx: from_violations(
+            run_source_pass(root=ctx.root, echo=ctx.echo), "source"
+        ),
+        inputs=(".",),
+    )
+)
+
+register(
+    PassSpec(
+        name="strategies",
+        description="plan every backend × primitive × benchmark topology "
+        "and statically verify the strategies",
+        title="strategy verifier",
+        rules=_err(
+            ("participants", "participant set malformed"),
+            ("partition-sum", "sub-collective sizes do not sum to the primitive total"),
+            ("subcollective-index", "duplicate sub-collective indices"),
+            ("partition-size", "negative partition size"),
+            ("chunk-size", "non-positive chunk size"),
+            ("chunk-coverage", "chunk tiling does not cover the partition"),
+            ("path-length", "flow path has fewer than two nodes"),
+            ("path-endpoints", "path endpoints disagree with the flow"),
+            ("endpoint-kind", "flow endpoint is not a GPU"),
+            ("gpu-revisit", "path revisits a GPU"),
+            ("flow-conservation", "non-participant GPU on a flow path"),
+            ("unknown-node", "path node missing from the topology"),
+            ("self-loop", "consecutive path nodes repeat"),
+            ("path-contiguity", "path hop has no topology edge"),
+            ("participant-coverage", "participant appears on no flow path"),
+            ("root-missing", "rooted primitive lacks a root"),
+            ("root-kind", "root is not a GPU"),
+            ("root-participant", "root is not a participant"),
+            ("root-placement", "flow does not start/end at the root"),
+            ("root-aggregation", "reduce root does not aggregate"),
+            ("aggregation-primitive", "aggregation on a non-reducing primitive"),
+            ("aggregation-kind", "aggregation on a non-GPU node"),
+            ("aggregation-off-path", "aggregating node lies on no flow path"),
+            ("aggregation-cycle", "cyclic merge dependencies"),
+            ("aggregation-units", "traffic-unit walk rejected the strategy"),
+            ("aggregation-load", "aggregation increased an edge's unit load"),
+            ("behavior-cycle", "behaviour-tuple derivation found a cycle"),
+            ("root-sends", "root rank has hasSend set"),
+            ("behavior-kernel", "kernel launch without an aggregation flag"),
+            ("relay-kernel", "single-branch relay would launch a kernel"),
+            ("deadlock", "chunk dependency graph cannot reach a terminal slot"),
+        ),
+        run=lambda ctx: from_violations(run_strategy_pass(echo=ctx.echo), "strategies"),
+        inputs=(
+            "synthesis",
+            "baselines",
+            "hardware",
+            "topology",
+            "relay",
+            "bench/harness.py",
+            "analysis/verify_strategy.py",
+            "errors.py",
+        ),
+    )
+)
+
+register(
+    PassSpec(
+        name="traces",
+        description="run a recorded AllReduce and lint the fluid-network trace",
+        title="trace lint",
+        rules=_err(
+            ("event-order", "trace events out of order or outside a flow lifetime"),
+            ("rate-sign", "negative allocated rate"),
+            ("byte-conservation", "flow bytes not conserved"),
+            ("link-capacity", "aggregate rate exceeds link capacity"),
+            ("stream-cap", "flow rate exceeds its per-stream cap"),
+            ("max-min", "flow below cap with no saturated link"),
+        ),
+        run=lambda ctx: from_violations(run_trace_pass(echo=ctx.echo), "traces"),
+        inputs=(
+            "simulation",
+            "runtime",
+            "baselines",
+            "hardware",
+            "synthesis",
+            "topology",
+            "relay",
+            "bench/harness.py",
+            "analysis/lint_trace.py",
+        ),
+    )
+)
+
+register(
+    PassSpec(
+        name="chaos",
+        description="replay a seeded fault plan and lint the trace through "
+        "the injected faults",
+        title="chaos lint",
+        rules=_err(
+            ("event-order", "trace events out of order"),
+            ("chaos-kind", "unknown chaos event kind"),
+            ("chaos-link-fraction", "link fault fraction out of bounds"),
+            ("chaos-link-restore", "faulted link capacity never restored"),
+            ("chaos-straggler-delay", "straggler delay malformed"),
+            ("chaos-msg-action", "queue fault action malformed"),
+            ("chaos-evict-cause", "eviction without an injected cause"),
+            ("chaos-exactness", "a chaos iteration was not bitwise exact"),
+        ),
+        run=lambda ctx: from_violations(run_chaos_pass(echo=ctx.echo), "chaos"),
+        inputs=(
+            "chaos",
+            "simulation",
+            "runtime",
+            "relay",
+            "recovery",
+            "hardware",
+            "analysis/lint_chaos.py",
+            "analysis/lint_trace.py",
+        ),
+    )
+)
+
+register(
+    PassSpec(
+        name="recovery",
+        description="crash the coordinator mid-decision and mid-transition, "
+        "then lint the control-plane journal",
+        title="recovery lint",
+        rules=_err(
+            ("record-index", "journal total order has a gap"),
+            ("record-time", "journal timestamps regress"),
+            ("epoch-regression", "epoch went backwards"),
+            ("election-first", "decision before any election"),
+            ("split-brain", "two coordinators in one epoch"),
+            ("ack-nonmember", "ack from a non-member"),
+            ("commit-quorum", "commit without a quorum"),
+            ("commit-epoch", "commit from a stale epoch"),
+            ("commit-unprepared", "commit without a prepare"),
+            ("dangling-prepare", "prepare with no commit or rollback"),
+            ("rollback-unprepared", "rollback without a prepare"),
+            ("rollback-after-commit", "rollback after the commit"),
+            ("recovery-exactness", "a failover iteration was not bitwise exact"),
+            ("recovery-coverage", "scenario missed a failover phase"),
+        ),
+        run=lambda ctx: from_violations(run_recovery_pass(echo=ctx.echo), "recovery"),
+        inputs=(
+            "recovery",
+            "chaos",
+            "runtime",
+            "relay",
+            "hardware",
+            "simulation",
+            "analysis/lint_recovery.py",
+        ),
+    )
+)
+
+register(
+    PassSpec(
+        name="telemetry",
+        description="run an instrumented collective and lint the JSONL + "
+        "Chrome-trace exports (or lint a given export file)",
+        title="telemetry lint",
+        rules=_err(
+            ("telemetry-io", "export file unreadable"),
+            ("telemetry-schema", "record schema malformed"),
+            ("telemetry-identity", "span ids duplicated or unparented"),
+            ("telemetry-nesting", "child span escapes its parent interval"),
+            ("telemetry-clock", "timestamps regress"),
+            ("chrome-schema", "Chrome trace structure malformed"),
+        ),
+        run=lambda ctx: from_violations(
+            run_telemetry_pass(target=ctx.target, echo=ctx.echo), "telemetry"
+        ),
+        inputs=(
+            "telemetry",
+            "adapcc.py",
+            "runtime",
+            "relay",
+            "hardware",
+            "simulation",
+            "analysis/lint_telemetry.py",
+        ),
+        serial=True,
+        accepts_target=True,
+    )
+)
+
+register(
+    PassSpec(
+        name="observe",
+        description="drive the canonical interference scenario with the "
+        "watchdog armed and lint the verdict log's causal chain "
+        "(or lint a given observe JSONL file)",
+        title="observe lint",
+        rules=_err(
+            ("observe-header", "log header malformed"),
+            ("observe-kind", "unknown observe record kind"),
+            ("observe-record", "record schema malformed"),
+            ("observe-monotonic", "log timestamps regress"),
+            ("observe-evidence", "verdict without an evidence window"),
+            ("observe-causality", "re-probe/re-synthesis without a verdict"),
+            ("observe-targeting", "re-probe not targeted at the verdict's scope"),
+            ("observe-hysteresis", "re-synthesis violates hysteresis discipline"),
+            ("observe-threshold", "detector fired below its threshold"),
+            ("observe-disabled", "watchdog acted while disabled"),
+            ("observe-detection", "missed fault or false-positive verdict"),
+            ("observe-loop", "loop did not close (no re-probe/re-synthesis)"),
+            ("observe-exactness", "an observed iteration was not bitwise exact"),
+        ),
+        run=lambda ctx: from_violations(
+            run_observe_pass(target=ctx.target, echo=ctx.echo), "observe"
+        ),
+        inputs=(
+            "observe",
+            "chaos",
+            "telemetry",
+            "runtime",
+            "relay",
+            "hardware",
+            "simulation",
+            "analysis/lint_observe.py",
+        ),
+        serial=True,
+        accepts_target=True,
+    )
+)
+
+register(
+    PassSpec(
+        name="races",
+        description="sim-determinism race detector: static AST hazards over "
+        "order-sensitive packages + vector-clock happens-before "
+        "check of an executed run against its strategy's chunk DAG",
+        title="race detector",
+        rules=(
+            RuleSpec(
+                "race-unordered-iteration",
+                SEVERITY_WARNING,
+                "unordered set iteration reaches a scheduling sink",
+            ),
+            RuleSpec(
+                "race-unkeyed-timestamp",
+                SEVERITY_WARNING,
+                "heap entry lacks a monotonic tiebreak element",
+            ),
+            RuleSpec(
+                "race-float-accumulation",
+                SEVERITY_WARNING,
+                "float accumulation folds over an unordered set",
+            ),
+            RuleSpec(
+                "race-dag-coverage",
+                SEVERITY_ERROR,
+                "executed run missing spans the chunk DAG requires",
+            ),
+            RuleSpec(
+                "race-happens-before",
+                SEVERITY_ERROR,
+                "recorded interleaving violates the chunk DAG's "
+                "happens-before order",
+            ),
+            RuleSpec("syntax", SEVERITY_ERROR, "file does not parse"),
+        ),
+        run=lambda ctx: run_race_pass(root=ctx.root, echo=ctx.echo),
+        inputs=(
+            "simulation",
+            "runtime",
+            "recovery",
+            "observe",
+            "synthesis",
+            "baselines",
+            "topology",
+            "telemetry",
+            "hardware",
+            "relay",
+            "bench/harness.py",
+            "analysis/race.py",
+        ),
+        serial=True,
+    )
+)

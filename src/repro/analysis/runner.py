@@ -1,0 +1,114 @@
+"""Parallel, incrementally-cached execution of registered analysis passes.
+
+The runner resolves a pass selection against the registry, consults the
+content-addressed cache (each pass's declared inputs hashed together with
+its name and version), runs the misses — thread-parallel for passes that
+only touch their own simulator instances, sequential for ``serial``
+passes that swap process-global state such as the telemetry hub — and
+returns :class:`~repro.analysis.registry.PassResult` records in canonical
+registry order, regardless of completion order. That ordering (plus
+buffered per-pass progress notes) is what keeps reports byte-identical
+across ``--jobs`` values.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.cache import AnalysisCache, fingerprint_paths, pass_fingerprint
+from repro.analysis.registry import (
+    PassContext,
+    PassResult,
+    PassSpec,
+    get_pass,
+    iter_passes,
+)
+
+
+def _package_root() -> Path:
+    return Path(__file__).resolve().parents[1]
+
+
+def resolve_selection(names: Optional[Sequence[str]]) -> List[PassSpec]:
+    """The selected passes, in canonical registry order.
+
+    ``None`` selects every registered pass. Unknown names raise
+    ``KeyError`` (with the known names in the message).
+    """
+    if names is None:
+        return iter_passes()
+    chosen = {spec.name: spec for spec in (get_pass(name) for name in names)}
+    return [spec for spec in iter_passes() if spec.name in chosen]
+
+
+def run_passes(
+    names: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    cache: Optional[AnalysisCache] = None,
+    root: Optional[Path] = None,
+    targets: Optional[Dict[str, str]] = None,
+) -> List[PassResult]:
+    """Run the selected passes; return results in canonical order.
+
+    ``cache=None`` disables incremental caching entirely. ``root``
+    overrides the source tree for file-based passes (tests point it at
+    fixture trees) and bypasses the cache, as does a per-pass ``target``
+    file — both make the result depend on inputs the fingerprint does not
+    cover.
+    """
+    specs = resolve_selection(names)
+    targets = targets or {}
+    package_root = _package_root()
+    results: Dict[str, PassResult] = {}
+
+    def execute(spec: PassSpec) -> PassResult:
+        target = targets.get(spec.name)
+        cacheable = cache is not None and root is None and target is None
+        key = None
+        if cacheable:
+            key = pass_fingerprint(
+                spec.name,
+                spec.version,
+                fingerprint_paths(package_root, spec.inputs),
+            )
+            hit = cache.load(key)
+            if hit is not None:
+                return PassResult(spec=spec, findings=hit, cached=True)
+        notes: List[str] = []
+        ctx = PassContext(root=root, target=target, echo=notes.append)
+        started = time.perf_counter()
+        try:
+            findings = spec.run(ctx)
+        except Exception:
+            return PassResult(
+                spec=spec,
+                duration_seconds=time.perf_counter() - started,
+                error=traceback.format_exc(),
+                notes=notes,
+            )
+        result = PassResult(
+            spec=spec,
+            findings=list(findings),
+            duration_seconds=time.perf_counter() - started,
+            notes=notes,
+        )
+        if cacheable and key is not None:
+            cache.store(key, spec.name, result.findings)
+        return result
+
+    concurrent = [spec for spec in specs if not spec.serial]
+    serial = [spec for spec in specs if spec.serial]
+    if jobs > 1 and len(concurrent) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            for spec, result in zip(concurrent, pool.map(execute, concurrent)):
+                results[spec.name] = result
+    else:
+        for spec in concurrent:
+            results[spec.name] = execute(spec)
+    for spec in serial:
+        results[spec.name] = execute(spec)
+    return [results[spec.name] for spec in specs]

@@ -253,6 +253,10 @@ class ChunkPipeline:
                     track=f"link:{i}->{j}",
                     chunk=k,
                     bytes=self.chunk_bytes[k],
+                    # Identifies the sender process for the race detector's
+                    # happens-before replay; must match
+                    # repro.analysis.race.unit_label.
+                    unit=f"{unit[0]}:{unit[1]}",
                 )
             yield self.network.transfer(
                 edge.fluid_links, self.chunk_bytes[k], tag=f"{self.tag}:{i}->{j}"

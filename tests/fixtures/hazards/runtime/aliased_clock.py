@@ -1,0 +1,32 @@
+# ruff: noqa
+"""Seeded hazard: wall-clock reads hidden behind import aliases.
+
+The original lint only matched the literal `time.time()` attribute form;
+these spellings are the regression fixtures for resolving imports before
+matching. `perf_counter` stays allowed.
+"""
+
+import time as t
+from time import time
+from time import time as now
+from datetime import datetime as dt
+from time import perf_counter
+
+
+def stamp_plain():
+    return time()  # HAZARD: from-imported wall clock
+
+
+def stamp_aliased():
+    return now()  # HAZARD: aliased wall clock
+
+
+def stamp_module_alias():
+    return t.time()  # HAZARD: module alias wall clock
+
+
+def stamp_datetime():
+    return dt.now()  # HAZARD: aliased datetime.now
+
+def stamp_allowed():
+    return perf_counter()  # allowed: monotonic, not wall clock

@@ -1,0 +1,22 @@
+# ruff: noqa
+"""Seeded hazard: float accumulation folded over an unordered set.
+
+Float addition is not associative; summing a set's elements in hash
+order makes the reduced value depend on PYTHONHASHSEED. The fixed form
+folds in sorted order.
+"""
+
+
+def total_rate(flows):
+    rates = {f.rate for f in flows}
+    total = 0.0
+    for rate in rates:  # HAZARD: fold order follows hash order
+        total += rate
+    return total
+
+
+def total_rate_fixed(flows):
+    total = 0.0
+    for rate in sorted({f.rate for f in flows}):  # must NOT be flagged
+        total += rate
+    return total

@@ -1,0 +1,17 @@
+# ruff: noqa
+"""Seeded hazard: same-timestamp heap entries without a tiebreak key.
+
+Two events pushed at the same simulated time compare by payload —
+an unstable order at best, a TypeError at worst. The fixed form pushes a
+monotonic sequence number between timestamp and payload.
+"""
+
+import heapq
+
+
+def enqueue(queue, when, event):
+    heapq.heappush(queue, (when, event))  # HAZARD: no tiebreak element
+
+
+def enqueue_fixed(queue, when, seq, event):
+    heapq.heappush(queue, (when, seq, event))  # keyed: must NOT be flagged

@@ -1,0 +1,24 @@
+# ruff: noqa
+"""Seeded hazard: unordered set iteration reaching scheduling sinks.
+
+Iterating a set decides event-queue order, so the interleaving follows
+PYTHONHASHSEED. The race detector must flag both the statement loop and
+the comprehension form; the `sorted(...)` loop at the bottom is the fix
+and must stay clean.
+"""
+
+
+def wake_all(sim, waiters):
+    pending = set(waiters)
+    for waiter in pending:  # HAZARD: hash order decides wake order
+        sim.schedule(0.0, waiter)
+
+
+def submit_batch(pool, jobs):
+    # HAZARD: comprehension over a set feeds the submit sink directly.
+    pool.submit(job for job in set(jobs))
+
+
+def wake_all_fixed(sim, waiters):
+    for waiter in sorted(set(waiters)):  # ordered: must NOT be flagged
+        sim.schedule(0.0, waiter)

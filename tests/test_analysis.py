@@ -357,6 +357,33 @@ class TestSourceLinter:
         bad.write_text("import time\n\ndef stamp():\n    return time.time()\n")
         assert "wall-clock" in checks(lint_source(root=tmp_path))
 
+    def test_wall_clock_from_import_flagged(self, tmp_path):
+        # Regression: `from time import time` evaded the attribute-only match.
+        pkg = tmp_path / "runtime"
+        pkg.mkdir()
+        bad = pkg / "mod.py"
+        bad.write_text("from time import time\n\ndef stamp():\n    return time()\n")
+        assert "wall-clock" in checks(lint_source(root=tmp_path))
+
+    def test_wall_clock_aliased_imports_flagged(self, tmp_path):
+        # Regression: aliased module and function imports evaded the match.
+        pkg = tmp_path / "observe"
+        pkg.mkdir()
+        bad = pkg / "mod.py"
+        bad.write_text(
+            "import time as t\n"
+            "from time import time as now\n\n"
+            "def stamp():\n"
+            "    return t.time() + now()\n"
+        )
+        found = [v for v in lint_source(root=tmp_path) if v.check == "wall-clock"]
+        assert len(found) == 2
+
+    def test_wall_clock_aliased_outside_deterministic_dirs_allowed(self, tmp_path):
+        ok = tmp_path / "cli.py"
+        ok.write_text("from time import time as now\n\ndef stamp():\n    return now()\n")
+        assert lint_source(root=tmp_path) == []
+
     def test_wall_clock_outside_simulation_allowed(self, tmp_path):
         ok = tmp_path / "cli.py"
         ok.write_text("import time\n\ndef stamp():\n    return time.time()\n")

@@ -1,0 +1,207 @@
+"""Tests for the sim-determinism race detector (static + dynamic halves)."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.lint_source import lint_source
+from repro.analysis.race import (
+    check_run_against_dag,
+    derive_chunk_dag,
+    lint_determinism_hazards,
+    unit_label,
+)
+from repro.bench.harness import BenchEnvironment
+from repro.hardware.presets import make_config
+from repro.synthesis.strategy import Primitive
+from repro.telemetry.core import TelemetryHub, hub, set_hub
+from repro.telemetry.export import parse_jsonl, to_jsonl
+
+FIXTURES = Path(__file__).parent / "fixtures" / "hazards"
+
+
+def by_code(findings):
+    out = {}
+    for f in findings:
+        out.setdefault(f.code, []).append(f)
+    return out
+
+
+class TestStaticHazards:
+    def test_clean_tree_has_zero_findings(self):
+        assert lint_determinism_hazards() == []
+
+    def test_every_seeded_fixture_is_flagged(self):
+        found = by_code(lint_determinism_hazards(root=FIXTURES))
+        assert set(found) == {
+            "race-unordered-iteration",
+            "race-unkeyed-timestamp",
+            "race-float-accumulation",
+        }
+        unordered = {(f.file, f.line) for f in found["race-unordered-iteration"]}
+        assert ("simulation/unordered_scheduling.py", 13) in unordered
+        assert ("simulation/unordered_scheduling.py", 19) in unordered
+        (heap,) = found["race-unkeyed-timestamp"]
+        assert (heap.file, heap.line) == ("simulation/same_timestamp.py", 13)
+        (accum,) = found["race-float-accumulation"]
+        assert (accum.file, accum.line) == ("runtime/float_accumulation.py", 14)
+
+    def test_fixed_forms_stay_clean(self):
+        findings = lint_determinism_hazards(root=FIXTURES)
+        flagged_lines = {(f.file, f.line) for f in findings}
+        # The *_fixed functions in every fixture sit below the hazards.
+        for file, fixed_line in [
+            ("simulation/unordered_scheduling.py", 23),
+            ("simulation/same_timestamp.py", 17),
+            ("runtime/float_accumulation.py", 21),
+        ]:
+            assert (file, fixed_line) not in flagged_lines
+
+    def test_hazards_are_warnings(self):
+        for f in lint_determinism_hazards(root=FIXTURES):
+            assert f.severity == "warning"
+
+    def test_syntax_error_reported_as_error(self, tmp_path):
+        pkg = tmp_path / "simulation"
+        pkg.mkdir()
+        (pkg / "broken.py").write_text("def oops(:\n")
+        (finding,) = lint_determinism_hazards(root=tmp_path)
+        assert finding.code == "syntax"
+        assert finding.severity == "error"
+
+
+class TestAliasedWallClockFixtures:
+    def test_all_aliased_forms_flagged(self):
+        flagged = [
+            v for v in lint_source(root=FIXTURES) if v.check == "wall-clock"
+        ]
+        lines = {int(v.subject.rsplit(":", 1)[1]) for v in flagged}
+        assert lines == {17, 21, 25, 29}  # time(), now(), t.time(), dt.now()
+
+    def test_perf_counter_not_flagged(self):
+        subjects = {v.subject for v in lint_source(root=FIXTURES)}
+        assert not any(s.endswith(":32") for s in subjects)
+
+
+@pytest.fixture(scope="module")
+def executed_allreduce():
+    """One instrumented 4-rank AllReduce: (strategy, parsed telemetry run)."""
+    previous = hub()
+    fresh = TelemetryHub(enabled=True)
+    set_hub(fresh)
+    try:
+        env = BenchEnvironment(make_config([2, 2]), "adapcc")
+        env.backend.verify = False
+        inputs = {rank: np.full(512, float(rank + 1)) for rank in env.ranks}
+        strategy = env.backend.plan(Primitive.ALLREDUCE, 2 * 1024 * 1024, env.ranks)
+        env.backend.run(
+            strategy, inputs, byte_scale=2 * 1024 * 1024 / (512 * 8.0)
+        )
+        run = parse_jsonl(to_jsonl(fresh))
+    finally:
+        set_hub(previous)
+    return strategy, run
+
+
+def _chunk_records(run):
+    return [
+        r
+        for r in run.records
+        if r.get("type") == "span"
+        and r.get("cat") == "chunk"
+        and r.get("name", "").endswith(":send")
+    ]
+
+
+class TestChunkDag:
+    def test_unit_label_format_matches_executor_spans(self, executed_allreduce):
+        assert unit_label(("flow", 3)) == "flow:3"
+        _strategy, run = executed_allreduce
+        units = {r["args"]["unit"] for r in _chunk_records(run)}
+        assert units  # the executor stamps every chunk span
+        assert all(":" in u for u in units)
+
+    def test_dag_covers_both_allreduce_stages(self, executed_allreduce):
+        strategy, _run = executed_allreduce
+        graph = derive_chunk_dag(strategy)
+        tags = {s.tag.split(":", 1)[0] for s in graph.senders}
+        assert tags == {"allreduce-red", "allreduce-bc"}
+        for sender in graph.senders:
+            for group in graph.preds[sender]:
+                assert group, f"empty AND-group for {sender}"
+                for pred in group:
+                    assert pred in graph.preds  # closed over known senders
+
+    def test_broadcast_stage_depends_on_reduce_stage(self, executed_allreduce):
+        strategy, _run = executed_allreduce
+        graph = derive_chunk_dag(strategy)
+        bcast_roots = [
+            s
+            for s in graph.senders
+            if s.tag.startswith("allreduce-bc") and graph.preds[s]
+        ]
+        assert bcast_roots, "no broadcast sender waits on the reduce stage"
+        assert any(
+            pred.tag.startswith("allreduce-red")
+            for s in bcast_roots
+            for group in graph.preds[s]
+            for pred in group
+        )
+
+
+class TestHappensBefore:
+    def test_recorded_run_is_race_free(self, executed_allreduce):
+        strategy, run = executed_allreduce
+        assert check_run_against_dag(strategy, run) == []
+
+    def test_corrupted_start_time_is_a_race(self, executed_allreduce):
+        strategy, run = executed_allreduce
+        # Rewind a chunk-1 span to start before its own chunk-0 ended:
+        # same-sender chunks serialize, so this must be a race.
+        victim = next(
+            r for r in _chunk_records(run) if int(r["args"]["chunk"]) == 1
+        )
+        original = victim["start"]
+        victim["start"] = -1.0
+        try:
+            findings = check_run_against_dag(strategy, run)
+        finally:
+            victim["start"] = original
+        assert findings
+        assert {f.code for f in findings} == {"race-happens-before"}
+        assert any("VC" in f.message for f in findings)
+
+    def test_missing_sender_is_a_coverage_error(self, executed_allreduce):
+        from types import SimpleNamespace
+
+        strategy, run = executed_allreduce
+        sample = _chunk_records(run)[0]
+        key = (sample["name"], sample["track"], sample["args"]["unit"])
+        pruned = SimpleNamespace(
+            records=[
+                r
+                for r in run.records
+                if not (
+                    r.get("type") == "span"
+                    and (r.get("name"), r.get("track"), r.get("args", {}).get("unit"))
+                    == key
+                )
+            ]
+        )
+        findings = check_run_against_dag(strategy, pruned)
+        assert findings
+        assert {f.code for f in findings} == {"race-dag-coverage"}
+
+    def test_tolerance_permits_exact_boundary_handoffs(self, executed_allreduce):
+        # Chunk pipelining hands off at identical simulated timestamps;
+        # the checker's tolerance must not flag equality as a race.
+        strategy, run = executed_allreduce
+        assert check_run_against_dag(strategy, run, tol=0.0) == []
+
+
+class TestRacePassCli:
+    def test_races_pass_exits_zero_on_clean_tree(self, capsys):
+        assert analysis_main(["--races", "--no-cache"]) == 0
+        assert "ok   race detector" in capsys.readouterr().out
