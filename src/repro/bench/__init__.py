@@ -9,17 +9,22 @@ from repro.bench.report import (
     Series,
     Table,
     bench_dir,
+    captured_bench_payloads,
     geometric_mean,
     write_bench_payload,
 )
+from repro.bench.sweep import SweepError, run_sweep
 
 __all__ = [
     "BenchEnvironment",
     "Series",
+    "SweepError",
     "Table",
     "bench_dir",
+    "captured_bench_payloads",
     "geometric_mean",
     "measure_algorithm_bandwidth",
     "measure_training",
+    "run_sweep",
     "write_bench_payload",
 ]

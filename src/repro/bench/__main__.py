@@ -7,16 +7,25 @@ configurations) and writes one machine-readable aggregate,
 ``BENCH_fig11_13.json``: every per-cell bandwidth plus the geomean
 speedups the paper quotes. The simulator is deterministic, so the file
 is byte-stable across runs of the same code — which is what makes it a
-committable perf baseline.
+committable perf baseline. With ``--jobs N`` the 52 cells fan out across
+worker processes (:mod:`repro.bench.sweep`) and the aggregate stays
+byte-identical to a serial run.
 
 Modes:
 
 * default — measure, print the three figure tables, write the aggregate
   (to ``REPRO_BENCH_DIR`` via the shared payload path when set, else to
-  ``--output``);
+  ``--output``); quick runs default to ``BENCH_fig11_13_quick.json`` and
+  the writer refuses to overwrite a full baseline with a quick payload
+  (or vice versa);
 * ``--check [BASELINE]`` — measure and compare against a committed
   baseline instead of writing; any cell slower than the tolerance
-  (default 10 %) exits non-zero, which is the CI perf-regression gate;
+  (default 10 %) exits non-zero, which is the CI perf-regression gate.
+  Quick runs check against the quick baseline by default, and a
+  quick/full mismatch between run and baseline is refused loudly;
+* ``--budgets [FILE]`` — gate per-cell wall-clock against the committed
+  ``bench-budgets.json`` (written by ``--write-budgets``), locking the
+  incremental-solver/sweep speedup into CI;
 * ``--quick`` — first configuration and two backends per figure only
   (fast smoke for local use);
 * ``--figures fig11,fig13`` — restrict to a subset of figures.
@@ -28,109 +37,48 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
-from repro.bench.harness import measure_algorithm_bandwidth
-from repro.bench.report import Table, bench_dir, geometric_mean, write_bench_payload
-from repro.hardware import MB
-from repro.hardware.presets import make_config
-from repro.synthesis.strategy import Primitive
+# Grid definitions re-exported for compatibility: the grid itself lives in
+# repro.bench.grid so the sweep workers can import it without re-running
+# this CLI module.
+from repro.bench.grid import (  # noqa: F401 - re-exports
+    AGGREGATE_NAME,
+    CONFIG_RECIPES,
+    DEFAULT_TOLERANCE,
+    FIGURES,
+    TENSOR_BYTES,
+    cell_id,
+    cell_key,
+    compare_payloads,
+    measure_all,
+    measure_figure,
+)
+from repro.bench.report import Table, bench_dir, write_bench_payload
+from repro.bench.sweep import SweepError, run_sweep
 
-TENSOR_BYTES = 64 * MB
+_CONFIG_RECIPES = CONFIG_RECIPES  # noqa: N816 - old private alias, kept for compat
 
-#: The five paper configurations shared by Fig. 11/12 (Fig. 13 drops the
-#: largest one and Blink, which lacks multi-server AlltoAll).
-_CONFIG_RECIPES: Dict[str, Tuple[List[int], Optional[List[int]]]] = {
-    "A100:(4,4)": ([4, 4], None),
-    "A100:(4,4,4,4)": ([4, 4, 4, 4], None),
-    "A100:(4,4) V100:(4,4)": ([4, 4], [4, 4]),
-    "A100:(4,4,4,4) V100:(4,4)": ([4, 4, 4, 4], [4, 4]),
-    "A100:(2,2) V100:(4,4)": ([2, 2], [4, 4]),
-}
+#: Default aggregate paths for full and quick runs. Quick runs write (and
+#: check against) their own baseline so a local smoke run can never
+#: clobber the committed full baseline.
+FULL_BASELINE = "BENCH_fig11_13.json"
+QUICK_BASELINE = "BENCH_fig11_13_quick.json"
 
-FIGURES: Dict[str, Dict] = {
-    "fig11": {
-        "title": "Fig. 11 — Reduce Algo.bw (GB/s), 64 MB float tensor",
-        "primitive": Primitive.REDUCE,
-        "configs": list(_CONFIG_RECIPES),
-        "backends": ["adapcc", "nccl", "msccl", "blink"],
-        "max_chunks": None,
-    },
-    "fig12": {
-        "title": "Fig. 12 — AllReduce Algo.bw (GB/s), 64 MB float tensor",
-        "primitive": Primitive.ALLREDUCE,
-        "configs": list(_CONFIG_RECIPES),
-        "backends": ["adapcc", "nccl", "msccl", "blink"],
-        "max_chunks": None,
-    },
-    "fig13": {
-        "title": "Fig. 13 — AlltoAll Algo.bw (GB/s), 64 MB per rank",
-        "primitive": Primitive.ALLTOALL,
-        "configs": [c for c in _CONFIG_RECIPES if c != "A100:(4,4,4,4) V100:(4,4)"],
-        "backends": ["adapcc", "nccl", "msccl"],
-        "max_chunks": 4,
-    },
-}
+#: Default per-cell wall-clock budget file (``--budgets`` / ``--write-budgets``).
+BUDGET_FILE = "bench-budgets.json"
 
-#: Default regression tolerance of ``--check``: a cell may lose up to
-#: this fraction of its baseline bandwidth before the gate fails.
-DEFAULT_TOLERANCE = 0.10
+#: Headroom multiplier applied by ``--write-budgets``: budgets lock in the
+#: order of magnitude, not this machine's exact timings, so CI runners
+#: with slower cores still pass while a solver regression still fails.
+BUDGET_HEADROOM = 4.0
 
-#: Name stem of the aggregate payload (file: ``BENCH_fig11_13.json``).
-AGGREGATE_NAME = "fig11_13"
+#: Floor for any single cell budget (seconds): tiny cells are dominated by
+#: process/interpreter noise, not solver work.
+BUDGET_FLOOR_SECONDS = 2.0
 
-
-def cell_key(config: str, backend: str) -> str:
-    """The JSON key of one measurement cell."""
-    return f"{config}|{backend}"
-
-
-def measure_figure(name: str, quick: bool = False) -> Dict:
-    """Measure one figure's cells; returns its aggregate payload block."""
-    spec = FIGURES[name]
-    configs = spec["configs"][:1] if quick else spec["configs"]
-    backends = spec["backends"][:2] if quick else spec["backends"]
-    cells: Dict[str, float] = {}
-    for config in configs:
-        a100, v100 = _CONFIG_RECIPES[config]
-        specs = make_config(a100, v100) if v100 else make_config(a100)
-        for backend in backends:
-            cells[cell_key(config, backend)] = measure_algorithm_bandwidth(
-                specs,
-                backend,
-                spec["primitive"],
-                TENSOR_BYTES,
-                max_chunks=spec["max_chunks"],
-            )
-    speedups: Dict[str, float] = {}
-    reference = backends[0]
-    for baseline in backends[1:]:
-        ratios = [
-            cells[cell_key(config, reference)] / cells[cell_key(config, baseline)]
-            for config in configs
-        ]
-        speedups[baseline] = geometric_mean(ratios)
-    return {
-        "title": spec["title"],
-        "primitive": spec["primitive"].value,
-        "configs": configs,
-        "backends": backends,
-        "cells": cells,
-        "geomean_speedups": speedups,
-    }
-
-
-def measure_all(figures: Sequence[str], quick: bool = False) -> Dict:
-    """Measure the selected figures into one aggregate payload."""
-    payload = {
-        "kind": "fig11_13_aggregate",
-        "tensor_bytes": TENSOR_BYTES,
-        "quick": quick,
-        "figures": {},
-    }
-    for name in figures:
-        payload["figures"][name] = measure_figure(name, quick=quick)
-    return payload
+#: argparse sentinel for "--check with no explicit baseline path".
+_DEFAULT_BASELINE = "__default__"
 
 
 def render_tables(payload: Dict) -> None:
@@ -151,40 +99,95 @@ def render_tables(payload: Dict) -> None:
         print()
 
 
-def compare_payloads(
-    current: Dict, baseline: Dict, tolerance: float = DEFAULT_TOLERANCE
-) -> List[str]:
-    """Regressions of ``current`` against ``baseline``, as human lines.
+def render_timings(timings: Dict[str, float]) -> None:
+    """Print the wall-clock summary of one sweep."""
+    total = sum(timings.values())
+    slowest = sorted(timings.items(), key=lambda kv: (-kv[1], kv[0]))[:3]
+    slow_text = ", ".join(f"{key} {seconds:.2f}s" for key, seconds in slowest)
+    print(
+        f"wall-clock: {total:.2f}s across {len(timings)} cells "
+        f"(slowest: {slow_text})"
+    )
 
-    A regression is a cell whose bandwidth fell below ``(1 - tolerance)``
-    of the baseline value, or a baseline cell that is missing from the
-    current run (silently dropping a measurement must not pass the gate).
-    Cells new in ``current`` are fine — the baseline just needs updating.
+
+def check_budgets(
+    timings: Dict[str, float], budgets: Dict, quick: bool
+) -> List[str]:
+    """Budget violations of ``timings`` against a loaded budget file.
+
+    Each measured cell must finish within its per-cell budget; a full run
+    must additionally fit the total budget. Cells without a budget entry
+    are reported too — a new grid cell needs a budget before it can ride
+    through CI unmeasured.
     """
     problems: List[str] = []
-    for name, figure in baseline.get("figures", {}).items():
-        current_figure = current.get("figures", {}).get(name)
-        if current_figure is None:
-            problems.append(f"{name}: missing from the current run")
-            continue
-        for key, reference in figure.get("cells", {}).items():
-            measured = current_figure.get("cells", {}).get(key)
-            if measured is None:
-                problems.append(f"{name}/{key}: cell missing from the current run")
-            elif measured < reference * (1.0 - tolerance):
-                problems.append(
-                    f"{name}/{key}: {measured / 1e9:.3f} GB/s is "
-                    f"{(1.0 - measured / reference) * 100:.1f}% below the "
-                    f"baseline {reference / 1e9:.3f} GB/s "
-                    f"(tolerance {tolerance * 100:.0f}%)"
-                )
+    cells = budgets.get("cells", {})
+    for key, wall_seconds in timings.items():
+        budget = cells.get(key)
+        if budget is None:
+            problems.append(f"{key}: no wall-clock budget (re-run --write-budgets)")
+        elif wall_seconds > budget:
+            problems.append(
+                f"{key}: took {wall_seconds:.2f}s, over its "
+                f"{budget:.2f}s budget"
+            )
+    total_budget = budgets.get("total_seconds")
+    if not quick and total_budget is not None:
+        total = sum(timings.values())
+        if total > total_budget:
+            problems.append(
+                f"total: {total:.2f}s exceeds the {total_budget:.2f}s budget"
+            )
     return problems
 
 
-def _write_aggregate(payload: Dict, output: str) -> Path:
+def build_budgets(timings: Dict[str, float]) -> Dict:
+    """A budget payload derived from measured timings plus headroom."""
+    cells = {
+        key: round(max(BUDGET_FLOOR_SECONDS, seconds * BUDGET_HEADROOM), 2)
+        for key, seconds in sorted(timings.items())
+    }
+    total = round(
+        max(BUDGET_FLOOR_SECONDS, sum(timings.values()) * BUDGET_HEADROOM), 2
+    )
+    return {
+        "kind": "bench_budgets",
+        "headroom": BUDGET_HEADROOM,
+        "cells": cells,
+        "total_seconds": total,
+    }
+
+
+def _load_json(path: Path) -> Optional[Dict]:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+def _write_aggregate(payload: Dict, output: str) -> Optional[Path]:
+    """Write the aggregate, refusing a quick/full baseline collision.
+
+    Returns the written path, or ``None`` if the write was refused.
+    """
+    quick = bool(payload.get("quick"))
     if bench_dir() is not None:
-        return write_bench_payload(AGGREGATE_NAME, payload)
+        name = AGGREGATE_NAME + ("_quick" if quick else "")
+        return write_bench_payload(name, payload)
     path = Path(output)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    existing = _load_json(path) if path.exists() else None
+    if (
+        existing is not None
+        and existing.get("kind") == "fig11_13_aggregate"
+        and bool(existing.get("quick")) != quick
+    ):
+        mode, have = ("quick", "full") if quick else ("full", "quick")
+        print(
+            f"FAIL bench: refusing to overwrite the {have} baseline "
+            f"{path} with a {mode} run; pass an explicit --output"
+        )
+        return None
     path.write_text(
         json.dumps(payload, sort_keys=True, indent=2) + "\n", encoding="utf-8"
     )
@@ -200,11 +203,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--check",
         nargs="?",
-        const="BENCH_fig11_13.json",
+        const=_DEFAULT_BASELINE,
         default=False,
         metavar="BASELINE",
         help="compare against a committed baseline instead of writing "
-        "(default baseline path: BENCH_fig11_13.json)",
+        f"(default baseline: {FULL_BASELINE}, or {QUICK_BASELINE} "
+        "with --quick)",
     )
     parser.add_argument(
         "--tolerance",
@@ -214,8 +218,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--output",
-        default="BENCH_fig11_13.json",
-        help="aggregate output path when REPRO_BENCH_DIR is unset",
+        default=None,
+        metavar="PATH",
+        help="aggregate output path when REPRO_BENCH_DIR is unset "
+        f"(default: {FULL_BASELINE}, or {QUICK_BASELINE} with --quick); "
+        "with --check, an explicit path additionally records the "
+        "measured aggregate before gating",
     )
     parser.add_argument(
         "--figures",
@@ -227,35 +235,122 @@ def main(argv=None) -> int:
         action="store_true",
         help="first configuration + two backends per figure only",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the cell sweep (default 1 = serial; "
+        "the aggregate is byte-identical either way)",
+    )
+    parser.add_argument(
+        "--budgets",
+        nargs="?",
+        const=BUDGET_FILE,
+        default=False,
+        metavar="FILE",
+        help="gate per-cell wall-clock against a budget file "
+        f"(default: {BUDGET_FILE})",
+    )
+    parser.add_argument(
+        "--write-budgets",
+        nargs="?",
+        const=BUDGET_FILE,
+        default=False,
+        metavar="FILE",
+        help="write measured wall-clock budgets (with headroom) instead "
+        "of gating against them",
+    )
     args = parser.parse_args(argv)
 
     names = [n.strip() for n in args.figures.split(",") if n.strip()]
     unknown = [n for n in names if n not in FIGURES]
     if unknown:
         parser.error(f"unknown figures: {unknown} (have {list(FIGURES)})")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
-    payload = measure_all(names, quick=args.quick)
+    try:
+        payload, timings = run_sweep(names, quick=args.quick, jobs=args.jobs)
+    except SweepError as exc:
+        print(f"FAIL bench: {exc}")
+        return 1
     render_tables(payload)
+    render_timings(timings)
+
+    problems: List[str] = []
+    if args.budgets is not False:
+        budget_path = Path(args.budgets)
+        budgets = _load_json(budget_path) if budget_path.exists() else None
+        if budgets is None:
+            print(f"FAIL bench: budget file {budget_path} missing or unreadable")
+            return 1
+        problems.extend(check_budgets(timings, budgets, quick=args.quick))
 
     if args.check is not False:
-        baseline_path = Path(args.check)
+        # With an explicit --output, check mode also records what it
+        # measured — CI uploads that aggregate as a debugging artifact.
+        if args.output is not None:
+            written = _write_aggregate(payload, args.output)
+            if written is None:
+                return 1
+            print(f"wrote {written}")
+        baseline_name = args.check
+        if baseline_name == _DEFAULT_BASELINE:
+            baseline_name = QUICK_BASELINE if args.quick else FULL_BASELINE
+        baseline_path = Path(baseline_name)
         if not baseline_path.exists():
             print(f"FAIL bench: baseline {baseline_path} does not exist")
             return 1
         baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
-        problems = compare_payloads(payload, baseline, tolerance=args.tolerance)
+        if bool(baseline.get("quick")) != bool(payload.get("quick")):
+            run_mode = "quick" if payload.get("quick") else "full"
+            base_mode = "quick" if baseline.get("quick") else "full"
+            print(
+                f"FAIL bench: refusing to compare a {run_mode} run against "
+                f"the {base_mode} baseline {baseline_path}"
+            )
+            return 1
+        problems.extend(
+            compare_payloads(payload, baseline, tolerance=args.tolerance)
+        )
         if problems:
-            print(f"FAIL bench: {len(problems)} regression(s) vs {baseline_path}")
+            print(f"FAIL bench: {len(problems)} problem(s) vs {baseline_path}")
             for line in problems:
                 print(f"  {line}")
             return 1
         cells = sum(
             len(f.get("cells", {})) for f in baseline.get("figures", {}).values()
         )
-        print(f"ok   bench: {cells} cells within {args.tolerance * 100:.0f}% of baseline")
+        print(
+            f"ok   bench: {cells} cells within {args.tolerance * 100:.0f}% "
+            "of baseline"
+        )
+        if args.budgets is not False:
+            print(f"ok   bench: {len(timings)} cells within wall-clock budgets")
         return 0
 
-    path = _write_aggregate(payload, args.output)
+    if problems:
+        print(f"FAIL bench: {len(problems)} budget violation(s)")
+        for line in problems:
+            print(f"  {line}")
+        return 1
+    if args.budgets is not False:
+        print(f"ok   bench: {len(timings)} cells within wall-clock budgets")
+
+    if args.write_budgets is not False:
+        budget_path = Path(args.write_budgets)
+        budget_path.write_text(
+            json.dumps(build_budgets(timings), sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {budget_path}")
+
+    output = args.output
+    if output is None:
+        output = QUICK_BASELINE if args.quick else FULL_BASELINE
+    path = _write_aggregate(payload, output)
+    if path is None:
+        return 1
     print(f"wrote {path}")
     return 0
 

@@ -1,0 +1,193 @@
+"""The Fig. 11–13 measurement grid, one cell at a time.
+
+``python -m repro.bench`` and the parallel sweep runner
+(:mod:`repro.bench.sweep`) both walk the same grid: three figures ×
+(configuration × backend) cells, 52 in the full run. This module owns the
+grid definition and the per-cell measurement so that a cell means exactly
+the same thing whether it runs inline, serially in canonical order, or in
+a spawned worker process — each cell builds its own
+:class:`~repro.bench.harness.BenchEnvironment` (fresh simulator, cluster,
+backend), so cells are embarrassingly parallel and their results are
+independent of which process runs them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import measure_algorithm_bandwidth
+from repro.bench.report import geometric_mean
+from repro.hardware import MB
+from repro.hardware.presets import make_config
+from repro.synthesis.strategy import Primitive
+
+TENSOR_BYTES = 64 * MB
+
+#: The five paper configurations shared by Fig. 11/12 (Fig. 13 drops the
+#: largest one and Blink, which lacks multi-server AlltoAll).
+CONFIG_RECIPES: Dict[str, Tuple[List[int], Optional[List[int]]]] = {
+    "A100:(4,4)": ([4, 4], None),
+    "A100:(4,4,4,4)": ([4, 4, 4, 4], None),
+    "A100:(4,4) V100:(4,4)": ([4, 4], [4, 4]),
+    "A100:(4,4,4,4) V100:(4,4)": ([4, 4, 4, 4], [4, 4]),
+    "A100:(2,2) V100:(4,4)": ([2, 2], [4, 4]),
+}
+
+FIGURES: Dict[str, Dict] = {
+    "fig11": {
+        "title": "Fig. 11 — Reduce Algo.bw (GB/s), 64 MB float tensor",
+        "primitive": Primitive.REDUCE,
+        "configs": list(CONFIG_RECIPES),
+        "backends": ["adapcc", "nccl", "msccl", "blink"],
+        "max_chunks": None,
+    },
+    "fig12": {
+        "title": "Fig. 12 — AllReduce Algo.bw (GB/s), 64 MB float tensor",
+        "primitive": Primitive.ALLREDUCE,
+        "configs": list(CONFIG_RECIPES),
+        "backends": ["adapcc", "nccl", "msccl", "blink"],
+        "max_chunks": None,
+    },
+    "fig13": {
+        "title": "Fig. 13 — AlltoAll Algo.bw (GB/s), 64 MB per rank",
+        "primitive": Primitive.ALLTOALL,
+        "configs": [c for c in CONFIG_RECIPES if c != "A100:(4,4,4,4) V100:(4,4)"],
+        "backends": ["adapcc", "nccl", "msccl"],
+        "max_chunks": 4,
+    },
+}
+
+#: Default regression tolerance of ``--check``: a cell may lose up to
+#: this fraction of its baseline bandwidth before the gate fails.
+DEFAULT_TOLERANCE = 0.10
+
+#: Name stem of the aggregate payload (file: ``BENCH_fig11_13.json``).
+AGGREGATE_NAME = "fig11_13"
+
+
+def cell_key(config: str, backend: str) -> str:
+    """The JSON key of one measurement cell within its figure block."""
+    return f"{config}|{backend}"
+
+
+def cell_id(figure: str, config: str, backend: str) -> str:
+    """Globally unique id of one cell (used by wall-clock budgets)."""
+    return f"{figure}|{config}|{backend}"
+
+
+def figure_plan(name: str, quick: bool = False) -> Tuple[List[str], List[str]]:
+    """The (configs, backends) a run of ``name`` measures."""
+    spec = FIGURES[name]
+    configs = spec["configs"][:1] if quick else spec["configs"]
+    backends = spec["backends"][:2] if quick else spec["backends"]
+    return configs, backends
+
+
+def iter_cells(
+    names: Sequence[str], quick: bool = False
+) -> Iterator[Tuple[str, str, str]]:
+    """Every ``(figure, config, backend)`` cell, in canonical serial order.
+
+    This order — figures as requested, configurations then backends in
+    grid order — is the order a serial run measures and writes payloads
+    in, and the order the parallel sweep merges results back into.
+    """
+    for name in names:
+        configs, backends = figure_plan(name, quick=quick)
+        for config in configs:
+            for backend in backends:
+                yield name, config, backend
+
+
+def measure_cell(figure: str, config: str, backend: str) -> float:
+    """Measure one grid cell, returning its Algo.bw in bytes/second."""
+    spec = FIGURES[figure]
+    a100, v100 = CONFIG_RECIPES[config]
+    specs = make_config(a100, v100) if v100 else make_config(a100)
+    return measure_algorithm_bandwidth(
+        specs,
+        backend,
+        spec["primitive"],
+        TENSOR_BYTES,
+        max_chunks=spec["max_chunks"],
+    )
+
+
+def figure_block(name: str, cells: Dict[str, float], quick: bool = False) -> Dict:
+    """Assemble one figure's aggregate block from its measured cells."""
+    spec = FIGURES[name]
+    configs, backends = figure_plan(name, quick=quick)
+    speedups: Dict[str, float] = {}
+    reference = backends[0]
+    for baseline in backends[1:]:
+        ratios = [
+            cells[cell_key(config, reference)] / cells[cell_key(config, baseline)]
+            for config in configs
+        ]
+        speedups[baseline] = geometric_mean(ratios)
+    return {
+        "title": spec["title"],
+        "primitive": spec["primitive"].value,
+        "configs": configs,
+        "backends": backends,
+        "cells": cells,
+        "geomean_speedups": speedups,
+    }
+
+
+def measure_figure(name: str, quick: bool = False) -> Dict:
+    """Measure one figure's cells serially; returns its aggregate block."""
+    cells: Dict[str, float] = {}
+    for _fig, config, backend in iter_cells([name], quick=quick):
+        cells[cell_key(config, backend)] = measure_cell(name, config, backend)
+    return figure_block(name, cells, quick=quick)
+
+
+def assemble_payload(
+    figures: Dict[str, Dict], quick: bool = False
+) -> Dict:
+    """Wrap per-figure blocks into the aggregate payload envelope."""
+    return {
+        "kind": "fig11_13_aggregate",
+        "tensor_bytes": TENSOR_BYTES,
+        "quick": quick,
+        "figures": figures,
+    }
+
+
+def measure_all(figures: Sequence[str], quick: bool = False) -> Dict:
+    """Measure the selected figures serially into one aggregate payload."""
+    blocks: Dict[str, Dict] = {}
+    for name in figures:
+        blocks[name] = measure_figure(name, quick=quick)
+    return assemble_payload(blocks, quick=quick)
+
+
+def compare_payloads(
+    current: Dict, baseline: Dict, tolerance: float = DEFAULT_TOLERANCE
+) -> List[str]:
+    """Regressions of ``current`` against ``baseline``, as human lines.
+
+    A regression is a cell whose bandwidth fell below ``(1 - tolerance)``
+    of the baseline value, or a baseline cell that is missing from the
+    current run (silently dropping a measurement must not pass the gate).
+    Cells new in ``current`` are fine — the baseline just needs updating.
+    """
+    problems: List[str] = []
+    for name, figure in baseline.get("figures", {}).items():
+        current_figure = current.get("figures", {}).get(name)
+        if current_figure is None:
+            problems.append(f"{name}: missing from the current run")
+            continue
+        for key, reference in figure.get("cells", {}).items():
+            measured = current_figure.get("cells", {}).get(key)
+            if measured is None:
+                problems.append(f"{name}/{key}: cell missing from the current run")
+            elif measured < reference * (1.0 - tolerance):
+                problems.append(
+                    f"{name}/{key}: {measured / 1e9:.3f} GB/s is "
+                    f"{(1.0 - measured / reference) * 100:.1f}% below the "
+                    f"baseline {reference / 1e9:.3f} GB/s "
+                    f"(tolerance {tolerance * 100:.0f}%)"
+                )
+    return problems

@@ -16,12 +16,26 @@ transfers, subject to:
 Rates are recomputed whenever the set of active transfers or a link
 capacity changes; between recomputations rates are constant, so transfer
 completions are exact (no time-stepping error).
+
+Recomputation is *incremental* (DESIGN.md §11): the network maintains the
+connected components of the transfer↔link sharing graph, and a flow
+start/end/cancel or capacity change re-solves only the component it
+touches. Untouched components keep their frozen rates — which is safe
+bit-for-bit, not just mathematically, because the per-component solver is
+deterministic in its inputs, so a re-solve of an unchanged component
+would reproduce the frozen value exactly. ``incremental=False`` (or
+``REPRO_FLUID_INCREMENTAL=0``) re-solves every component from scratch at
+every recompute point; the differential suite runs both modes against
+each other and against :func:`solve_rates_reference`, the original
+joint progressive-filling solve over all active transfers.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
+import operator
+import os
 
 import numpy as np
 from typing import Dict, List, Optional, Sequence
@@ -30,6 +44,8 @@ from repro.errors import SimulationError
 from repro.simulation.engine import Event, Simulator
 
 _EPS = 1e-12
+#: C-level sort key for the canonical (activation-order) member walks.
+_BY_SEQ = operator.attrgetter("_seq")
 #: Remaining-bytes tolerance under which a transfer counts as complete.
 _DONE_EPS = 1e-6
 
@@ -89,12 +105,121 @@ class Transfer:
         self.link_multiplicity: Dict[FluidLink, int] = {}
         for link in self.links:
             self.link_multiplicity[link] = self.link_multiplicity.get(link, 0) + 1
+        #: Activation sequence number (canonical intra-component solve
+        #: order) and owning component, managed by the network.
+        self._seq = -1
+        self._comp: Optional[_Component] = None
+        cap = math.inf
+        for link, mult in self.link_multiplicity.items():
+            stream_cap = link.per_stream_cap / mult
+            if stream_cap < cap:
+                cap = stream_cap
+        self._min_stream_cap = cap
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<Transfer #{self.id} {self.tag or 'untagged'} "
             f"{self.remaining:.0f}/{self.size:.0f}B @{self.rate:.3g}B/s>"
         )
+
+
+class _Component:
+    """One connected component of the transfer↔link sharing graph.
+
+    ``members`` and ``links`` are insertion-ordered dicts used as ordered
+    sets, so every walk over them is deterministic. ``needs_split`` marks
+    a component that lost a member and may therefore have disconnected;
+    it is re-partitioned lazily at the next solve.
+    """
+
+    __slots__ = ("members", "links", "needs_split")
+
+    def __init__(self) -> None:
+        self.members: Dict[Transfer, None] = {}
+        self.links: Dict[int, None] = {}
+        self.needs_split = False
+
+
+def _progressive_fill(transfers: Sequence[Transfer]) -> np.ndarray:
+    """Progressive-filling max-min fair rates for ``transfers``.
+
+    The vectorized kernel: the transfer/link incidence is flattened into
+    numpy arrays once, and each filling round is O(transfers + links +
+    incidences) in C. Pure in ``transfers`` — rates are returned, not
+    written back — and deterministic: identical inputs produce identical
+    bits, which is what lets the incremental solver freeze the rates of
+    untouched components.
+    """
+    n = len(transfers)
+    if n == 0:
+        return np.zeros(0)
+    caps = np.fromiter((t._min_stream_cap for t in transfers), dtype=float, count=n)
+    links: List[FluidLink] = []
+    link_index: Dict[int, int] = {}
+    t_idx: List[int] = []
+    l_idx: List[int] = []
+    mults: List[float] = []
+    for ti, t in enumerate(transfers):
+        for link, mult in t.link_multiplicity.items():
+            li = link_index.get(link.id)
+            if li is None:
+                li = link_index[link.id] = len(links)
+                links.append(link)
+            t_idx.append(ti)
+            l_idx.append(li)
+            mults.append(mult)
+    m = len(links)
+    ti_arr = np.array(t_idx, dtype=np.intp)
+    li_arr = np.array(l_idx, dtype=np.intp)
+    mult_arr = np.array(mults)
+    residual = np.array([link.capacity for link in links])
+    sat_floor = _EPS * np.maximum(1.0, residual)
+    rates = np.zeros(n)
+    unfrozen = np.ones(n, dtype=bool)
+
+    while True:
+        active_inc = unfrozen[ti_arr]
+        users = np.bincount(
+            li_arr[active_inc], weights=mult_arr[active_inc], minlength=m
+        )
+        used = users > _EPS
+        delta = math.inf
+        if used.any():
+            delta = float(np.min(residual[used] / users[used]))
+        headroom = caps[unfrozen] - rates[unfrozen]
+        if headroom.size:
+            delta = min(delta, float(headroom.min()))
+        if delta < 0:
+            delta = 0.0
+        if delta > _EPS:
+            rates[unfrozen] += delta
+            residual -= delta * users
+
+        saturated = residual <= sat_floor
+        on_saturated = np.zeros(n, dtype=bool)
+        hit = active_inc & saturated[li_arr]
+        on_saturated[ti_arr[hit]] = True
+        newly = unfrozen & (on_saturated | (rates >= caps - _EPS))
+        if not newly.any():
+            if delta <= _EPS:
+                break  # nothing can move (e.g. zero-capacity link)
+            continue
+        unfrozen &= ~newly
+        if not unfrozen.any():
+            break
+    return rates
+
+
+def solve_rates_reference(transfers: Sequence[Transfer]) -> List[float]:
+    """From-scratch joint max-min solve over ``transfers`` (reference).
+
+    The original (pre-incremental) semantics: one progressive-filling run
+    over *all* transfers jointly, components interleaved. The differential
+    suite compares every incremental recompute against this to 1e-9 —
+    per-component filling takes different float paths, so agreement is
+    near-exact rather than bitwise.
+    """
+    return [float(r) for r in _progressive_fill(list(transfers))]
 
 
 class FluidNetwork:
@@ -105,13 +230,46 @@ class FluidNetwork:
     keep the completion timer consistent.
     """
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, incremental: Optional[bool] = None):
         self.sim = sim
         self._active: List[Transfer] = []
         self._last_update = 0.0
         self._timer_generation = 0
         self._flush_scheduled = False
         self.completed_transfers = 0
+        if incremental is None:
+            incremental = os.environ.get("REPRO_FLUID_INCREMENTAL", "1") not in (
+                "0",
+                "false",
+                "off",
+            )
+        #: Whether recomputes re-solve only dirty components (the default)
+        #: or every component from scratch (the differential reference).
+        self.incremental = incremental
+        #: Monotonic activation counter: the canonical order of transfers
+        #: inside a component solve (== their order in ``_active``).
+        self._activation_count = 0
+        #: link id -> active transfers crossing it, insertion-ordered.
+        self._link_users: Dict[int, Dict[Transfer, None]] = {}
+        #: link id -> owning component, exact at all times.
+        self._link_comp: Dict[int, _Component] = {}
+        #: Components needing a re-solve, insertion-ordered (used as set).
+        self._dirty: Dict[_Component, None] = {}
+        #: component -> predicted absolute time of its earliest member
+        #: completion (``inf`` when every member is blocked). An entry is
+        #: recomputed only when the component's membership changes (the
+        #: entry is popped) or some member's rate changes bitwise — an
+        #: unchanged rate keeps the predicted absolute finish exact — so
+        #: the cache evolves identically in incremental and from-scratch
+        #: modes and the completion horizon is a min over components
+        #: instead of a scan over every active transfer.
+        self._comp_finish: Dict[_Component, float] = {}
+        #: Whether some transfer's ``remaining`` may have crossed the
+        #: completion threshold since the last finished-scan. Set when
+        #: settling advances time (the only way remaining decreases) and
+        #: by the force-complete path; lets activation-only flushes skip
+        #: the O(active) completion scan entirely.
+        self._scan_pending = False
         #: Attached observers implementing the recorder protocol —
         #: ``record(time, kind, subject, **payload)``, usually
         #: :class:`repro.simulation.records.TraceRecorder`. The network
@@ -234,6 +392,7 @@ class FluidNetwork:
             raise SimulationError("cancel() of a transfer that is not active")
         self._settle_progress()
         self._active.remove(transfer)
+        self._component_remove(transfer)
         if self._recorders:
             self._emit(
                 "net-flow-cancel",
@@ -251,6 +410,9 @@ class FluidNetwork:
             raise SimulationError("capacity must be non-negative")
         self._settle_progress()
         link.capacity = capacity
+        comp = self._link_comp.get(link.id)
+        if comp is not None:
+            self._dirty[comp] = None
         self._recompute()
 
     @property
@@ -292,6 +454,7 @@ class FluidNetwork:
             self._recompute()
             return
         self._active.append(transfer)
+        self._component_add(transfer)
         self._recompute()
 
     def _settle_progress(self) -> None:
@@ -303,6 +466,7 @@ class FluidNetwork:
                 t.remaining = max(0.0, t.remaining - moved)
                 for link, mult in t.link_multiplicity.items():
                     link.bytes_carried += moved * mult
+            self._scan_pending = True
         self._last_update = self.sim.now
 
     def _recompute(self) -> None:
@@ -335,22 +499,31 @@ class FluidNetwork:
         self._timer_generation += 1
         generation = self._timer_generation
         while True:
-            horizon = math.inf
-            for t in self._active:
-                if t.rate > _EPS:
-                    horizon = min(horizon, t.remaining / t.rate)
+            horizon = self._next_horizon()
             if math.isinf(horizon):
                 self._record_snapshot()
                 return
-            if self.sim.now + horizon > self.sim.now:
+            if horizon > 0.0 and self.sim.now + horizon > self.sim.now:
                 break
             # The next completion is below the clock's floating-point
             # resolution at the current time: those transfers are
             # numerically done — force-complete them or the timer would
-            # fire forever without advancing time.
+            # fire forever without advancing time. The cached horizon can
+            # sit an ulp off (or clamp to zero against) the live values,
+            # so take the exact minimum here (this path is rare) to
+            # guarantee at least one transfer crosses the threshold and
+            # the loop makes progress.
+            exact = math.inf
+            for t in self._active:
+                if t.rate > _EPS:
+                    headway = t.remaining / t.rate
+                    if headway < exact:
+                        exact = headway
+            threshold = max(exact, 0.0) * (1 + 1e-9)
             for t in list(self._active):
-                if t.rate > _EPS and t.remaining / t.rate <= horizon * (1 + 1e-9):
+                if t.rate > _EPS and t.remaining / t.rate <= threshold:
                     t.remaining = 0.0
+            self._scan_pending = True
             self._assign_rates()
             self._complete_finished()
 
@@ -362,6 +535,21 @@ class FluidNetwork:
 
         self.sim.timeout(horizon).add_callback(_on_timer)
         self._record_snapshot()
+
+    def _next_horizon(self) -> float:
+        """Seconds until the earliest predicted completion (``inf`` if none).
+
+        A min over the per-component finish cache — O(components), not
+        O(active transfers). Cached predictions can sit an ulp off the
+        live ``remaining / rate`` value (the prediction basis is the last
+        recompute, not now); the force-complete path's relative slack
+        absorbs that.
+        """
+        finish = min(self._comp_finish.values(), default=math.inf)
+        if math.isinf(finish):
+            return math.inf
+        remaining_time = finish - self.sim.now
+        return remaining_time if remaining_time > 0.0 else 0.0
 
     def _record_snapshot(self) -> None:
         """Emit one ``net-rates`` allocation snapshot.
@@ -389,11 +577,15 @@ class FluidNetwork:
                 )
 
     def _complete_finished(self) -> None:
+        if not self._scan_pending:
+            return
+        self._scan_pending = False
         finished = [t for t in self._active if t.remaining <= _DONE_EPS]
         if not finished:
             return
         for t in finished:
             self._active.remove(t)
+            self._component_remove(t)
             t.finish_time = self.sim.now
             self.completed_transfers += 1
             if self._recorders:
@@ -407,80 +599,189 @@ class FluidNetwork:
             t.event.succeed(t)
         self._assign_rates()
 
-    def _assign_rates(self) -> None:
-        """Progressive-filling max-min fair allocation with per-stream caps.
+    # -- component tracking --------------------------------------------------
 
-        Vectorized: the transfer/link incidence is flattened into numpy
-        arrays once per recompute; each progressive-filling round is then
-        O(transfers + links + incidences) in C, which keeps collectives
-        with hundreds of concurrent flows (AlltoAll) tractable.
+    def _component_add(self, t: Transfer) -> None:
+        """Register an activated transfer, merging the components it joins.
+
+        A new transfer connects the components of every link on its path
+        into exactly one component (it touches all of them itself), so a
+        merge here is always exact — only removals can split.
         """
-        active = self._active
-        for t in active:
-            t.rate = 0.0
-        n = len(active)
-        if n == 0:
-            return
+        self._activation_count += 1
+        t._seq = self._activation_count
+        touched: Dict[int, _Component] = {}
+        for link in t.link_multiplicity:
+            self._link_users.setdefault(link.id, {})[t] = None
+            comp = self._link_comp.get(link.id)
+            if comp is not None:
+                touched[id(comp)] = comp
+        if touched:
+            ordered = list(touched.values())
+            target = max(ordered, key=lambda c: len(c.members) + len(c.links))
+            for comp in ordered:
+                if comp is target:
+                    continue
+                for member in comp.members:
+                    member._comp = target
+                    target.members[member] = None
+                for lid in comp.links:
+                    self._link_comp[lid] = target
+                    target.links[lid] = None
+                if comp.needs_split:
+                    # An absorbed component with a pending split stays
+                    # possibly-disconnected after the merge.
+                    target.needs_split = True
+                self._dirty.pop(comp, None)
+                self._comp_finish.pop(comp, None)
+        else:
+            target = _Component()
+        target.members[t] = None
+        t._comp = target
+        for link in t.link_multiplicity:
+            target.links[link.id] = None
+            self._link_comp[link.id] = target
+        self._dirty[target] = None
+        # Membership changed: the cached finish prediction must be rebuilt
+        # at the next solve.
+        self._comp_finish.pop(target, None)
 
-        links: List[FluidLink] = []
-        link_index: Dict[int, int] = {}
-        t_idx: List[int] = []
-        l_idx: List[int] = []
-        mults: List[float] = []
-        caps = np.empty(n)
-        for ti, t in enumerate(active):
-            cap = math.inf
-            for link, mult in t.link_multiplicity.items():
-                li = link_index.get(link.id)
-                if li is None:
-                    li = link_index[link.id] = len(links)
-                    links.append(link)
-                t_idx.append(ti)
-                l_idx.append(li)
-                mults.append(mult)
-                stream_cap = link.per_stream_cap / mult
-                if stream_cap < cap:
-                    cap = stream_cap
-            caps[ti] = cap
+    def _component_remove(self, t: Transfer) -> None:
+        """Unregister a finished/cancelled transfer from its component."""
+        comp = t._comp
+        t._comp = None
+        del comp.members[t]
+        for link in t.link_multiplicity:
+            users = self._link_users.get(link.id)
+            if users is not None:
+                users.pop(t, None)
+                if not users:
+                    del self._link_users[link.id]
+                    self._link_comp.pop(link.id, None)
+                    comp.links.pop(link.id, None)
+        self._comp_finish.pop(comp, None)
+        if comp.members:
+            comp.needs_split = True
+            self._dirty[comp] = None
+        else:
+            self._dirty.pop(comp, None)
 
-        m = len(links)
-        ti_arr = np.array(t_idx, dtype=np.intp)
-        li_arr = np.array(l_idx, dtype=np.intp)
-        mult_arr = np.array(mults)
-        residual = np.array([link.capacity for link in links])
-        sat_floor = _EPS * np.maximum(1.0, residual)
-        rates = np.zeros(n)
-        unfrozen = np.ones(n, dtype=bool)
+    def _split_component(self, comp: _Component) -> List[_Component]:
+        """Re-partition a possibly-disconnected component exactly.
 
-        while True:
-            active_inc = unfrozen[ti_arr]
-            users = np.zeros(m)
-            np.add.at(users, li_arr[active_inc], mult_arr[active_inc])
-            used = users > _EPS
-            delta = math.inf
-            if used.any():
-                delta = float(np.min(residual[used] / users[used]))
-            headroom = caps[unfrozen] - rates[unfrozen]
-            if headroom.size:
-                delta = min(delta, float(headroom.min()))
-            if delta < 0:
-                delta = 0.0
-            if delta > _EPS:
-                rates[unfrozen] += delta
-                residual -= delta * users
+        Walks the component's remaining transfer↔link adjacency from the
+        lowest-sequence member outward; each reachable set becomes a fresh
+        component. Deterministic: seeds are taken in activation order and
+        adjacency dicts are insertion-ordered.
+        """
+        unvisited = dict.fromkeys(sorted(comp.members, key=_BY_SEQ))
+        self._comp_finish.pop(comp, None)
+        parts: List[_Component] = []
+        while unvisited:
+            seed = next(iter(unvisited))
+            del unvisited[seed]
+            part = _Component()
+            stack = [seed]
+            while stack:
+                member = stack.pop()
+                part.members[member] = None
+                member._comp = part
+                for link in member.link_multiplicity:
+                    if link.id in part.links:
+                        continue
+                    part.links[link.id] = None
+                    self._link_comp[link.id] = part
+                    for other in self._link_users[link.id]:
+                        if other in unvisited:
+                            del unvisited[other]
+                            stack.append(other)
+            parts.append(part)
+        return parts
 
-            saturated = residual <= sat_floor
-            on_saturated = np.zeros(n, dtype=bool)
-            hit = active_inc & saturated[li_arr]
-            on_saturated[ti_arr[hit]] = True
-            newly = unfrozen & (on_saturated | (rates >= caps - _EPS))
-            if not newly.any():
-                if delta <= _EPS:
-                    break  # nothing can move (e.g. zero-capacity link)
+    # -- rate assignment -----------------------------------------------------
+
+    def _assign_rates(self) -> None:
+        """Re-solve max-min fair rates where they may have changed.
+
+        Incremental mode solves each *dirty* component with the
+        progressive-filling kernel and leaves every other component's
+        rates frozen; from-scratch mode re-partitions and re-solves all of
+        them. Both produce identical bits (see the module docstring), and
+        both match the joint :func:`solve_rates_reference` to float
+        round-off, because a max-min allocation decomposes exactly across
+        link-disjoint components.
+        """
+        if self.incremental:
+            if not self._dirty:
+                return
+            dirty = list(self._dirty)
+            self._dirty.clear()
+        else:
+            # From-scratch mode re-solves *every* component each time. A
+            # clean component's re-solve reproduces its frozen rates
+            # bit-for-bit, and component tracking (merges, splits, finish
+            # cache pops) is shared with incremental mode, so the two
+            # modes stay exactly equivalent.
+            self._dirty.clear()
+            dirty = []
+            seen: Dict[int, None] = {}
+            for t in self._active:
+                comp = t._comp
+                if id(comp) not in seen:
+                    seen[id(comp)] = None
+                    dirty.append(comp)
+        for comp in dirty:
+            if not comp.members:
                 continue
-            unfrozen &= ~newly
-            if not unfrozen.any():
-                break
+            if comp.needs_split:
+                comp.needs_split = False
+                parts = self._split_component(comp)
+            else:
+                parts = [comp]
+            for part in parts:
+                self._solve_component(part, sorted(part.members, key=_BY_SEQ))
 
-        for ti, t in enumerate(active):
-            t.rate = float(rates[ti])
+    def _solve_component(
+        self, comp: _Component, transfers: List[Transfer]
+    ) -> None:
+        """Assign kernel rates to one component's transfers.
+
+        Single-transfer components — the bulk of chunk-pipeline traffic —
+        skip the kernel: with one flow the filling loop collapses to a
+        single round whose delta is the minimum of the per-stream and
+        capacity bounds, reproduced here bit-for-bit without numpy.
+
+        The component's cached finish prediction is rebuilt only when it
+        was invalidated by a membership change or some member's rate
+        actually changed; both triggers fire identically in incremental
+        and from-scratch modes, so the cache (and therefore every timer
+        horizon) stays bit-equal across modes.
+        """
+        changed = False
+        if len(transfers) == 1:
+            t = transfers[0]
+            rate = t._min_stream_cap
+            for link, mult in t.link_multiplicity.items():
+                link_share = link.capacity / mult
+                if link_share < rate:
+                    rate = link_share
+            if rate <= _EPS:
+                rate = 0.0
+            if rate != t.rate:
+                t.rate = rate
+                changed = True
+        else:
+            rates = _progressive_fill(transfers).tolist()
+            for t, rate in zip(transfers, rates):
+                if rate != t.rate:
+                    t.rate = rate
+                    changed = True
+        if changed or comp not in self._comp_finish:
+            now = self.sim.now
+            finish = math.inf
+            for t in transfers:
+                if t.rate > _EPS:
+                    predicted = now + t.remaining / t.rate
+                    if predicted < finish:
+                        finish = predicted
+            self._comp_finish[comp] = finish

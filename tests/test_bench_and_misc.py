@@ -145,3 +145,192 @@ class TestTraceRecorder:
         recorder = TraceRecorder()
         recorder.record(0.0, "k", "s")
         assert [r.kind for r in recorder] == ["k"]
+
+
+class TestRepeatsAveraging:
+    """`measure_algorithm_bandwidth(repeats>1)` averages warm runs."""
+
+    class _StubResult:
+        def __init__(self, duration):
+            self.duration = duration
+
+    class _StubBackend:
+        def __init__(self, durations):
+            self._durations = list(durations)
+            self.plan_calls = 0
+            self.run_calls = 0
+
+        def plan(self, primitive, tensor_bytes, ranks):
+            self.plan_calls += 1
+            return "strategy"
+
+        def run(self, strategy, inputs, byte_scale=None, max_chunks=None):
+            self.run_calls += 1
+            return TestRepeatsAveraging._StubResult(self._durations.pop(0))
+
+    def _patch_environment(self, monkeypatch, backend):
+        import repro.bench.harness as harness
+
+        class _StubEnv:
+            def __init__(self, specs, backend_name, backend_kwargs=None):
+                self.specs = list(specs)
+                self.backend_name = backend_name
+                self.backend = backend
+                self.ranks = [0, 1]
+
+            def snapshot(self):
+                return {"backend": self.backend_name}
+
+        monkeypatch.setattr(harness, "BenchEnvironment", _StubEnv)
+
+    def test_mean_of_warm_runs(self, monkeypatch):
+        backend = self._StubBackend([1.0, 3.0])
+        self._patch_environment(monkeypatch, backend)
+        bandwidth = measure_algorithm_bandwidth(
+            [object(), object()], "stub", Primitive.ALLREDUCE, 100.0, repeats=2
+        )
+        # Durations 1s and 3s average to 2s: 100 bytes / 2 s = 50 B/s.
+        assert bandwidth == pytest.approx(50.0)
+        assert backend.plan_calls == 1  # planned once, run repeatedly
+        assert backend.run_calls == 2
+
+    def test_single_repeat_unaveraged(self, monkeypatch):
+        backend = self._StubBackend([4.0])
+        self._patch_environment(monkeypatch, backend)
+        bandwidth = measure_algorithm_bandwidth(
+            [object()], "stub", Primitive.ALLREDUCE, 100.0, repeats=1
+        )
+        assert bandwidth == pytest.approx(25.0)
+        assert backend.run_calls == 1
+
+
+class TestComparePayloads:
+    """Edge cases of the --check regression comparison."""
+
+    @staticmethod
+    def _payload(cells, figure="fig11"):
+        return {"figures": {figure: {"cells": dict(cells)}}}
+
+    def test_missing_figure_is_a_regression(self):
+        from repro.bench.grid import compare_payloads
+
+        problems = compare_payloads(
+            {"figures": {}}, self._payload({"a|nccl": 1e9})
+        )
+        assert problems == ["fig11: missing from the current run"]
+
+    def test_missing_cell_is_a_regression(self):
+        from repro.bench.grid import compare_payloads
+
+        problems = compare_payloads(
+            self._payload({}), self._payload({"a|nccl": 1e9})
+        )
+        assert len(problems) == 1
+        assert "cell missing" in problems[0]
+
+    def test_cell_exactly_at_tolerance_boundary_passes(self):
+        from repro.bench.grid import compare_payloads
+
+        reference = 1e9
+        boundary = reference * (1.0 - 0.10)  # exactly the tolerated loss
+        problems = compare_payloads(
+            self._payload({"a|nccl": boundary}),
+            self._payload({"a|nccl": reference}),
+            tolerance=0.10,
+        )
+        assert problems == []  # strict <, so the boundary itself is fine
+
+    def test_cell_just_under_boundary_fails(self):
+        from repro.bench.grid import compare_payloads
+
+        reference = 1e9
+        problems = compare_payloads(
+            self._payload({"a|nccl": reference * 0.89}),
+            self._payload({"a|nccl": reference}),
+            tolerance=0.10,
+        )
+        assert len(problems) == 1
+        assert "below the" in problems[0]
+
+    def test_new_cell_in_current_run_is_accepted(self):
+        from repro.bench.grid import compare_payloads
+
+        problems = compare_payloads(
+            self._payload({"a|nccl": 1e9, "b|nccl": 1e9}),
+            self._payload({"a|nccl": 1e9}),
+        )
+        assert problems == []
+
+
+class TestQuickClobberGuard:
+    """--quick must never silently clobber or check the full baseline."""
+
+    @staticmethod
+    def _full_baseline(path):
+        import json
+
+        path.write_text(
+            json.dumps(
+                {
+                    "kind": "fig11_13_aggregate",
+                    "quick": False,
+                    "figures": {"fig11": {"cells": {}}},
+                },
+                indent=2,
+            )
+        )
+
+    def test_quick_write_refuses_full_baseline(self, tmp_path, monkeypatch):
+        from repro.bench.__main__ import main as bench_main
+
+        monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+        baseline = tmp_path / "BENCH_fig11_13.json"
+        self._full_baseline(baseline)
+        before = baseline.read_bytes()
+        rc = bench_main(
+            ["--quick", "--figures", "fig11", "--output", str(baseline)]
+        )
+        assert rc == 1
+        assert baseline.read_bytes() == before  # untouched
+
+    def test_quick_check_refuses_full_baseline(self, tmp_path, monkeypatch):
+        from repro.bench.__main__ import main as bench_main
+
+        monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+        baseline = tmp_path / "BENCH_fig11_13.json"
+        self._full_baseline(baseline)
+        rc = bench_main(
+            ["--quick", "--figures", "fig11", "--check", str(baseline)]
+        )
+        assert rc == 1
+
+    def test_quick_default_output_is_the_quick_baseline(
+        self, tmp_path, monkeypatch
+    ):
+        import json
+
+        from repro.bench.__main__ import QUICK_BASELINE, main as bench_main
+
+        monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        rc = bench_main(["--quick", "--figures", "fig11"])
+        assert rc == 0
+        written = json.loads((tmp_path / QUICK_BASELINE).read_text())
+        assert written["quick"] is True
+        assert not (tmp_path / "BENCH_fig11_13.json").exists()
+
+    def test_quick_overwrite_of_quick_baseline_is_fine(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.bench.__main__ import main as bench_main
+
+        monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+        output = tmp_path / "quick.json"
+        assert (
+            bench_main(["--quick", "--figures", "fig11", "--output", str(output)])
+            == 0
+        )
+        assert (
+            bench_main(["--quick", "--figures", "fig11", "--output", str(output)])
+            == 0
+        )
