@@ -32,6 +32,7 @@ from repro.analysis.cache import AnalysisCache, default_cache_dir
 from repro.analysis.findings import SEVERITIES, severity_rank
 from repro.analysis.passes import (
     run_chaos_pass,
+    run_critpath_pass,
     run_observe_pass,
     run_race_pass,
     run_recovery_pass,
@@ -50,6 +51,7 @@ __all__ = [
     "load_baseline",
     "write_baseline",
     "run_chaos_pass",
+    "run_critpath_pass",
     "run_observe_pass",
     "run_race_pass",
     "run_recovery_pass",
@@ -185,6 +187,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="select the observe lint; optionally against an exported "
         "observe JSONL log",
     )
+    parser.add_argument(
+        "--critpath",
+        nargs="?",
+        const=True,
+        default=False,
+        metavar="FILE",
+        help="select the critical-path lint; optionally against an "
+        "exported critpath report JSON file",
+    )
     return parser
 
 
@@ -201,6 +212,7 @@ def _selection(args) -> Optional[List[str]]:
             ("telemetry", args.telemetry is not False),
             ("observe", args.observe is not False),
             ("races", args.races),
+            ("critpath", args.critpath is not False),
         )
         if on
     ]
@@ -222,6 +234,8 @@ def main(argv=None) -> int:
         targets["telemetry"] = args.telemetry
     if isinstance(args.observe, str):
         targets["observe"] = args.observe
+    if isinstance(args.critpath, str):
+        targets["critpath"] = args.critpath
 
     try:
         baseline = load_baseline(Path(args.baseline)) if args.baseline else set()

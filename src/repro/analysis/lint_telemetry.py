@@ -36,8 +36,8 @@ from repro.telemetry.export import SCHEMA_VERSION, TelemetryRun, parse_jsonl
 #: Record types a JSONL run may contain after the meta header.
 _RECORD_TYPES = ("span", "event")
 
-#: Chrome trace phases the exporter emits.
-_CHROME_PHASES = ("X", "i", "B", "M")
+#: Chrome trace phases the exporter emits (flow arrows are s/t/f).
+_CHROME_PHASES = ("X", "i", "B", "M", "s", "t", "f")
 
 
 def _is_number(value: Any) -> bool:
@@ -217,6 +217,38 @@ def lint_chrome_trace(payload: Dict[str, Any]) -> List[Violation]:
             violations.append(
                 Violation(
                     "chrome-schema", subject, f"instant scope {event.get('s')!r}"
+                )
+            )
+        if phase in ("s", "t", "f") and "id" not in event:
+            violations.append(
+                Violation("chrome-schema", subject, "flow event without an id")
+            )
+
+    # Flow pairing: every flow id needs exactly one start and one finish
+    # (steps optional), and the finish must not precede the start.
+    flows: Dict[Any, Dict[str, List[float]]] = {}
+    for event in events:
+        phase = event.get("ph")
+        if phase in ("s", "t", "f") and "id" in event and _is_number(event.get("ts")):
+            flows.setdefault(event["id"], {"s": [], "t": [], "f": []})[phase].append(
+                event["ts"]
+            )
+    for flow_id in sorted(flows, key=str):
+        subject = f"flow:{flow_id}"
+        starts, finishes = flows[flow_id]["s"], flows[flow_id]["f"]
+        if len(starts) != 1 or len(finishes) != 1:
+            violations.append(
+                Violation(
+                    "chrome-schema",
+                    subject,
+                    f"{len(starts)} start(s) and {len(finishes)} finish(es); "
+                    "expected one of each",
+                )
+            )
+        elif finishes[0] < starts[0]:
+            violations.append(
+                Violation(
+                    "chrome-schema", subject, "flow finishes before it starts"
                 )
             )
     return violations

@@ -1,6 +1,6 @@
 """The built-in analysis passes, registered with the pass framework.
 
-The eight pass bodies live here (the scenario passes moved out of
+The nine pass bodies live here (the scenario passes moved out of
 ``__main__`` when the CLI became a thin shell over the framework). Each
 legacy entry point still returns bare :class:`Violation` records — tests
 and the executor pre-flight keep importing those — and a thin registered
@@ -387,6 +387,144 @@ def run_observe_pass(
     return violations
 
 
+def run_critpath_pass(
+    target=None, seed: int = 11, echo: Echo = _silent
+) -> List[Violation]:
+    """Lint a critpath report — a given file, or fresh self-check runs.
+
+    With ``target`` a path, lint that exported JSON report. With the bare
+    ``--critpath`` flag, run three scenarios end to end:
+
+    * one instrumented AllReduce (the race pass's scenario), analyzed in
+      both dag and inferred modes — structural lint plus byte-identity
+      of repeated analyses;
+    * the canonical interference chaos plan — the top-1 attributed link
+      must touch the faulted NIC's node (attribution scored against the
+      chaos ground truth);
+    * a seeded straggler plan — the attribution must name the injected
+      rank (top rank, or a top link touching its GPU).
+    """
+    from repro.analysis.lint_critpath import lint_critpath_file, lint_critpath_report
+
+    if isinstance(target, str):
+        violations = lint_critpath_file(target)
+        echo(f"critpath: linted {target}")
+        return violations
+
+    import numpy as np
+
+    from repro.bench.harness import BenchEnvironment
+    from repro.chaos import ChaosRunner, FaultPlan
+    from repro.chaos.plan import StragglerFault
+    from repro.critpath import analyze_run, report_to_json
+    from repro.hardware.presets import make_config, make_homo_cluster
+    from repro.observe import ObserveConfig
+    from repro.observe.verdicts import link_endpoints
+    from repro.synthesis.strategy import Primitive
+    from repro.telemetry.core import TelemetryHub, hub, set_hub
+    from repro.telemetry.export import parse_jsonl, to_jsonl
+
+    violations: List[Violation] = []
+
+    def _captured(drive):
+        previous = hub()
+        fresh = TelemetryHub(enabled=True)
+        set_hub(fresh)
+        try:
+            extra = drive()
+        finally:
+            set_hub(previous)
+        return parse_jsonl(to_jsonl(fresh)), extra
+
+    def _allreduce():
+        env = BenchEnvironment(make_config([2, 2]), "adapcc")
+        env.backend.verify = False
+        inputs = {rank: np.full(1024, float(rank + 1)) for rank in env.ranks}
+        strategy = env.backend.plan(Primitive.ALLREDUCE, 4 * 1024 * 1024, env.ranks)
+        env.backend.run(strategy, inputs, byte_scale=4 * 1024 * 1024 / (1024 * 8.0))
+        return strategy
+
+    run, strategy = _captured(_allreduce)
+    dag_report = analyze_run(run, strategy=strategy)
+    inferred_report = analyze_run(run)
+    violations.extend(lint_critpath_report(dag_report))
+    violations.extend(lint_critpath_report(inferred_report))
+    if report_to_json(dag_report) != report_to_json(analyze_run(run, strategy=strategy)):
+        violations.append(
+            Violation(
+                "critpath-determinism",
+                "allreduce",
+                "re-analysis of the same run produced different report bytes",
+            )
+        )
+    echo(
+        f"critpath: AllReduce — dag mode covered {dag_report['span_count']} "
+        f"span(s), top link {dag_report['top_link']['name']}; inferred mode "
+        f"stitched {inferred_report['inferred_edges']} edge(s)"
+    )
+
+    specs = make_homo_cluster(num_servers=2, gpus_per_server=4)
+
+    def _chaos(plan):
+        ChaosRunner(
+            specs, plan, length=512, byte_scale=200_000.0, observe=ObserveConfig()
+        ).run()
+
+    interference = FaultPlan.interference(seed=seed, iterations=24)
+    fault_node = f"n{interference.link_faults[0].instance_id}"
+    run, _ = _captured(lambda: _chaos(interference))
+    report = analyze_run(run)
+    violations.extend(lint_critpath_report(report))
+    top_link = (report["top_link"] or {}).get("name", "")
+    if not top_link or fault_node not in link_endpoints(top_link):
+        violations.append(
+            Violation(
+                "critpath-groundtruth",
+                f"seed{seed}",
+                f"interference on {fault_node}: top link {top_link!r} does "
+                "not touch the faulted node",
+            )
+        )
+    echo(
+        f"critpath: interference seed {seed} — top link {top_link} "
+        f"(injected: {fault_node})"
+    )
+
+    straggler_rank = 3
+    straggler = FaultPlan(
+        seed=seed,
+        iterations=10,
+        stragglers=tuple(
+            StragglerFault(
+                rank=straggler_rank, iteration=i, delay_seconds=0.2
+            )
+            for i in range(3, 8)
+        ),
+    )
+    run, _ = _captured(lambda: _chaos(straggler))
+    report = analyze_run(run)
+    violations.extend(lint_critpath_report(report))
+    top_rank = (report["top_rank"] or {}).get("name", "")
+    top_link = (report["top_link"] or {}).get("name", "")
+    gpu = f"g{straggler_rank}"
+    if top_rank != f"rank{straggler_rank}" and (
+        not top_link or gpu not in link_endpoints(top_link)
+    ):
+        violations.append(
+            Violation(
+                "critpath-groundtruth",
+                f"seed{seed}",
+                f"straggler on rank {straggler_rank}: attribution named "
+                f"{top_rank!r} / {top_link!r}",
+            )
+        )
+    echo(
+        f"critpath: straggler rank {straggler_rank} — top rank {top_rank}, "
+        f"readiness {report['readiness_seconds']:.3f}s"
+    )
+    return violations
+
+
 # -- registration ---------------------------------------------------------------------
 
 
@@ -685,5 +823,41 @@ register(
             "analysis/race.py",
         ),
         serial=True,
+    )
+)
+
+register(
+    PassSpec(
+        name="critpath",
+        description="critical-path / bottleneck-attribution lint: analyze "
+        "an instrumented AllReduce plus seeded chaos plans and check the "
+        "reports' structure, determinism, and attribution against the "
+        "injected faults (or lint a given report JSON file)",
+        title="critpath lint",
+        rules=_err(
+            ("critpath-io", "report file unreadable"),
+            ("critpath-schema", "report envelope malformed"),
+            ("critpath-path", "critical path not contiguous"),
+            ("critpath-sums", "durations/shares do not sum"),
+            ("critpath-attribution", "top culprit inconsistent with tables"),
+            ("critpath-groundtruth", "attribution missed an injected fault"),
+            ("critpath-determinism", "same-run reports not byte-identical"),
+        ),
+        run=lambda ctx: from_violations(
+            run_critpath_pass(target=ctx.target, echo=ctx.echo), "critpath"
+        ),
+        inputs=(
+            "critpath",
+            "chaos",
+            "observe",
+            "telemetry",
+            "runtime",
+            "relay",
+            "hardware",
+            "simulation",
+            "analysis/lint_critpath.py",
+        ),
+        serial=True,
+        accepts_target=True,
     )
 )

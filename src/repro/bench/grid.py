@@ -113,8 +113,48 @@ def measure_cell(figure: str, config: str, backend: str) -> float:
     )
 
 
-def figure_block(name: str, cells: Dict[str, float], quick: bool = False) -> Dict:
-    """Assemble one figure's aggregate block from its measured cells."""
+def measure_cell_detail(
+    figure: str, config: str, backend: str
+) -> Tuple[float, Optional[str]]:
+    """Measure one cell with critical-path attribution.
+
+    Runs the cell under a fresh enabled telemetry hub and feeds the
+    exported spans through :func:`repro.critpath.analyze_run` (inferred
+    mode). Returns ``(bandwidth_bps, top_bottleneck_link)``, the link
+    ``None`` when the run exported no chunk spans. Telemetry never
+    advances the sim clock, so the bandwidth is identical to a bare
+    :func:`measure_cell`.
+    """
+    # Local imports: repro.critpath pulls in the analysis machinery, which
+    # itself imports the bench harness.
+    from repro.critpath import analyze_run
+    from repro.telemetry.core import TelemetryHub, set_hub
+    from repro.telemetry.export import parse_jsonl, to_jsonl
+
+    fresh = TelemetryHub(enabled=True)
+    previous = set_hub(fresh)
+    try:
+        bandwidth = measure_cell(figure, config, backend)
+    finally:
+        set_hub(previous)
+    report = analyze_run(parse_jsonl(to_jsonl(fresh)))
+    top = report["top_link"]
+    return bandwidth, (top["name"] if top else None)
+
+
+def figure_block(
+    name: str,
+    cells: Dict[str, float],
+    quick: bool = False,
+    bottlenecks: Optional[Dict[str, Optional[str]]] = None,
+) -> Dict:
+    """Assemble one figure's aggregate block from its measured cells.
+
+    ``bottlenecks`` maps :func:`cell_key` to the cell's critical-path top
+    link (from :func:`measure_cell_detail`); it rides along as a sibling
+    of ``cells`` so the perf baseline also records *where* each cell's
+    time went.
+    """
     spec = FIGURES[name]
     configs, backends = figure_plan(name, quick=quick)
     speedups: Dict[str, float] = {}
@@ -131,6 +171,7 @@ def figure_block(name: str, cells: Dict[str, float], quick: bool = False) -> Dic
         "configs": configs,
         "backends": backends,
         "cells": cells,
+        "bottlenecks": dict(bottlenecks or {}),
         "geomean_speedups": speedups,
     }
 
@@ -138,9 +179,11 @@ def figure_block(name: str, cells: Dict[str, float], quick: bool = False) -> Dic
 def measure_figure(name: str, quick: bool = False) -> Dict:
     """Measure one figure's cells serially; returns its aggregate block."""
     cells: Dict[str, float] = {}
+    bottlenecks: Dict[str, Optional[str]] = {}
     for _fig, config, backend in iter_cells([name], quick=quick):
-        cells[cell_key(config, backend)] = measure_cell(name, config, backend)
-    return figure_block(name, cells, quick=quick)
+        key = cell_key(config, backend)
+        cells[key], bottlenecks[key] = measure_cell_detail(name, config, backend)
+    return figure_block(name, cells, quick=quick, bottlenecks=bottlenecks)
 
 
 def assemble_payload(

@@ -33,7 +33,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from multiprocessing import get_context
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.grid import (
     assemble_payload,
@@ -41,7 +41,7 @@ from repro.bench.grid import (
     cell_key,
     figure_block,
     iter_cells,
-    measure_cell,
+    measure_cell_detail,
 )
 from repro.bench.report import captured_bench_payloads, write_bench_payload
 
@@ -65,19 +65,20 @@ def _maybe_poison(figure: str, config: str, backend: str) -> None:
 
 def _run_cell_captured(
     cell: Tuple[str, str, str],
-) -> Tuple[float, float, List[Tuple[str, Dict]]]:
+) -> Tuple[float, Optional[str], float, List[Tuple[str, Dict]]]:
     """Worker entry: measure one cell, capturing its payload writes.
 
-    Returns ``(bandwidth_bps, wall_seconds, captured_payloads)``. Module
-    level so it pickles under the ``spawn`` start method.
+    Returns ``(bandwidth_bps, bottleneck_link, wall_seconds,
+    captured_payloads)``. Module level so it pickles under the ``spawn``
+    start method.
     """
     figure, config, backend = cell
     _maybe_poison(figure, config, backend)
     records: List[Tuple[str, Dict]] = []
     start = time.perf_counter()
     with captured_bench_payloads(records):
-        bandwidth = measure_cell(figure, config, backend)
-    return bandwidth, time.perf_counter() - start, records
+        bandwidth, bottleneck = measure_cell_detail(figure, config, backend)
+    return bandwidth, bottleneck, time.perf_counter() - start, records
 
 
 def run_sweep(
@@ -99,13 +100,16 @@ def run_sweep(
     cells = list(iter_cells(names, quick=quick))
     timings: Dict[str, float] = {}
     bandwidths: Dict[Tuple[str, str, str], float] = {}
+    bottlenecks: Dict[Tuple[str, str, str], Optional[str]] = {}
 
     if jobs <= 1:
         for cell in cells:
             figure, config, backend = cell
             _maybe_poison(figure, config, backend)
             start = time.perf_counter()
-            bandwidths[cell] = measure_cell(figure, config, backend)
+            bandwidths[cell], bottlenecks[cell] = measure_cell_detail(
+                figure, config, backend
+            )
             timings[cell_id(figure, config, backend)] = time.perf_counter() - start
     else:
         context = get_context("spawn")
@@ -127,8 +131,9 @@ def run_sweep(
         # Merge in canonical serial order: `cells` (and therefore
         # `outcomes`) is already iter_cells() order, so the replayed
         # payload stream is exactly what a serial run would have written.
-        for cell, (bandwidth, wall_seconds, records) in outcomes:
+        for cell, (bandwidth, bottleneck, wall_seconds, records) in outcomes:
             bandwidths[cell] = bandwidth
+            bottlenecks[cell] = bottleneck
             timings[cell_id(*cell)] = wall_seconds
             for name, payload in records:
                 write_bench_payload(name, payload)
@@ -140,7 +145,14 @@ def run_sweep(
             for fig, config, backend in cells
             if fig == name
         }
-        blocks[name] = figure_block(name, figure_cells, quick=quick)
+        figure_bottlenecks = {
+            cell_key(config, backend): bottlenecks[(fig, config, backend)]
+            for fig, config, backend in cells
+            if fig == name
+        }
+        blocks[name] = figure_block(
+            name, figure_cells, quick=quick, bottlenecks=figure_bottlenecks
+        )
     return assemble_payload(blocks, quick=quick), timings
 
 

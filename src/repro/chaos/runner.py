@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.chaos.injector import ChaosInjector
 from repro.chaos.plan import DECIDE_PHASE, TRANSITION_PHASE, FaultPlan
+from repro.critpath.consumer import CritpathConsumer
 from repro.errors import ChaosError
 from repro.hardware.cluster import Cluster
 from repro.hardware.instance import InstanceSpec
@@ -160,8 +161,14 @@ class ChaosRunner:
         # membership changes use. Requires an enabled telemetry hub.
         self.watchdog: Optional[Watchdog] = None
         self.profiler: Optional[Profiler] = None
+        self.critpath: Optional[CritpathConsumer] = None
         if observe is not None and observe.enabled:
             self.profiler = Profiler(self.topology)
+            # Streaming critical-path attribution rides the same hub the
+            # watchdog consumes: per iteration it names the top bottleneck
+            # link, so verdicts cite a culprit and the re-probe narrows to
+            # the attributed link instead of every implicated one.
+            self.critpath = CritpathConsumer()
             self.watchdog = Watchdog(
                 self.topology,
                 config=observe,
@@ -169,7 +176,10 @@ class ChaosRunner:
                 current_strategy=lambda: self._strategy,
                 resynthesize=self._resynthesize_for_observe,
                 synthesizer=self.synthesizer,
+                attribution=self.critpath.top_link,
             ).attach()
+            if self.watchdog._hub is not None:
+                self.watchdog._hub.subscribe(self.critpath)
 
     # -- strategy management ---------------------------------------------------
 
@@ -344,6 +354,10 @@ class ChaosRunner:
 
             if self.watchdog is not None:
                 self.watchdog.end_iteration(iteration, result.duration)
+            if self.critpath is not None:
+                # Attribution windows are per-iteration: drop the spans
+                # the watchdog just scored.
+                self.critpath.reset()
 
             if faulty:
                 # Eviction: shrink the group, rebalance shards (global
@@ -365,6 +379,8 @@ class ChaosRunner:
         self.sim.run()
 
         if self.watchdog is not None:
+            if self.critpath is not None and self.watchdog._hub is not None:
+                self.watchdog._hub.unsubscribe(self.critpath)
             self.watchdog.detach()
 
         report.event_trace = list(self.injector.trace)

@@ -1,0 +1,652 @@
+"""Critical-path extraction and bottleneck attribution (DESIGN.md §12).
+
+The executor's chunk pipelines already export one ``…:send`` span per
+(stage, link, traffic-unit, chunk) — the same spans the ``--races`` pass
+replays against the strategy-derived chunk-dependency DAG. This module
+joins those spans back into a per-run execution DAG, walks the critical
+path on sim-clock timings, and attributes the elapsed time to links,
+ranks, and pipeline stages with slack analysis — the "where did the time
+go?" answer the watchdog needs to target its re-probes.
+
+Two join modes:
+
+* **dag** — a :class:`~repro.synthesis.strategy.Strategy` is available:
+  spans join to :func:`repro.analysis.race.derive_chunk_dag` senders by
+  ``(tag, track, unit)`` exactly as the race detector does, and the DAG's
+  AND-groups (OR within a group: whichever copy of a unit *ends* first
+  releases the slot) become edges. Repeated executions of the same
+  strategy (training iterations) match by occurrence index.
+* **inferred** — no strategy: edges are inferred from the spans alone.
+  The same sender's chunk ``k-1 → k`` serializes; a cross-link handoff
+  edge joins the latest-ending producer of the same ``(tag, unit,
+  chunk)`` into a consumer's source endpoint.
+
+In both modes a node left without predecessors is *stitched* to the
+latest-ending span that closed at or before its start. In a
+work-conserving executor that span is exactly what released it — a stage
+boundary, the previous iteration's tail — and the gap between them is
+*wait time* attributed to the stitched node's source (how stragglers
+surface: a delayed rank's first send starts long after everything else
+went quiet).
+
+Everything is computed from sim-clock timestamps only and serialized
+with sorted keys, so same-seed runs produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Version stamp carried by every report; bump on breaking changes.
+REPORT_SCHEMA = 1
+
+#: Report envelope type tag.
+REPORT_KIND = "critpath_report"
+
+#: Per-span slack when comparing simulator timestamps (matches the race
+#: detector's tolerance).
+TIME_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class ChunkSpan:
+    """One chunk-pipeline ``…:send`` span: a node of the execution DAG."""
+
+    tag: str
+    track: str
+    unit: str
+    chunk: int
+    start: float
+    end: float
+    #: Position among extracted spans, in file order — the deterministic
+    #: tiebreak for every choice the engine makes.
+    order: int
+    bytes: float = 0.0
+
+    @property
+    def link(self) -> str:
+        """The ``"g0->n1"``-style link name (track minus the prefix)."""
+        if self.track.startswith("link:"):
+            return self.track[len("link:"):]
+        return self.track
+
+    @property
+    def src(self) -> str:
+        """Source endpoint node name (``""`` for non-link tracks)."""
+        link = self.link
+        return link.split("->", 1)[0] if "->" in link else ""
+
+    @property
+    def dst(self) -> str:
+        """Destination endpoint node name (``""`` for non-link tracks)."""
+        link = self.link
+        return link.split("->", 1)[1] if "->" in link else ""
+
+    @property
+    def stage(self) -> str:
+        """Pipeline stage: the tag up to the sub-collective suffix."""
+        return self.tag.split(":", 1)[0]
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def extract_chunk_spans(records: Sequence[Dict[str, Any]]) -> List[ChunkSpan]:
+    """The chunk ``…:send`` spans of a record stream, in file order."""
+    spans: List[ChunkSpan] = []
+    for record in records:
+        if record.get("type") != "span" or record.get("cat") != "chunk":
+            continue
+        name = record.get("name", "")
+        if not name.endswith(":send"):
+            continue
+        end = record.get("end")
+        if end is None:
+            continue
+        args = record.get("args", {})
+        chunk = int(args.get("chunk", -1))
+        if chunk < 0:
+            continue
+        spans.append(
+            ChunkSpan(
+                tag=name[: -len(":send")],
+                track=record.get("track", ""),
+                unit=str(args.get("unit", "")),
+                chunk=chunk,
+                start=float(record["start"]),
+                end=float(end),
+                order=len(spans),
+                bytes=float(args.get("bytes", 0.0)),
+            )
+        )
+    return spans
+
+
+# -- DAG construction -----------------------------------------------------------------
+
+
+def _end_key(spans: Sequence[ChunkSpan], index: int) -> Tuple[float, float, int]:
+    span = spans[index]
+    return (span.end, span.start, span.order)
+
+
+def _dag_predecessors(
+    spans: Sequence[ChunkSpan], strategy
+) -> List[List[int]]:
+    """Edges from the strategy-derived chunk DAG, matched by occurrence.
+
+    ``slots[sender][chunk]`` lists span indices in file order; the o-th
+    occurrence of every sender's chunk belongs to the o-th execution of
+    the strategy, so repeated iterations line up without any iteration
+    label on the spans.
+    """
+    from repro.analysis.race import derive_chunk_dag
+
+    graph = derive_chunk_dag(strategy)
+    wanted = {(s.tag, s.track, s.unit): s for s in graph.senders}
+    slots: Dict[Any, Dict[int, List[int]]] = {}
+    for index, span in enumerate(spans):
+        sender = wanted.get((span.tag, span.track, span.unit))
+        if sender is None:
+            continue
+        slots.setdefault(sender, {}).setdefault(span.chunk, []).append(index)
+
+    preds: List[List[int]] = [[] for _ in spans]
+    for sender, chunks in slots.items():
+        for chunk, occurrences in chunks.items():
+            prior = chunks.get(chunk - 1, [])
+            for occurrence, index in enumerate(occurrences):
+                if occurrence < len(prior):
+                    preds[index].append(prior[occurrence])
+                for group in graph.preds[sender]:
+                    candidates = [
+                        slots[p][chunk][occurrence]
+                        for p in group
+                        if occurrence < len(slots.get(p, {}).get(chunk, []))
+                    ]
+                    if candidates:
+                        # The slot is released by whichever group member
+                        # ends first — the race detector's rule.
+                        preds[index].append(
+                            min(candidates, key=lambda i: _end_key(spans, i))
+                        )
+    return preds
+
+
+def _inferred_predecessors(
+    spans: Sequence[ChunkSpan], tol: float
+) -> List[List[int]]:
+    """Edges inferred from the spans alone (no strategy available)."""
+    by_sender: Dict[Tuple[str, str, str], Dict[int, List[int]]] = {}
+    by_unit: Dict[Tuple[str, str, int], List[int]] = {}
+    for index, span in enumerate(spans):
+        by_sender.setdefault(
+            (span.tag, span.track, span.unit), {}
+        ).setdefault(span.chunk, []).append(index)
+        by_unit.setdefault((span.tag, span.unit, span.chunk), []).append(index)
+
+    preds: List[List[int]] = [[] for _ in spans]
+    for index, span in enumerate(spans):
+        chunks = by_sender[(span.tag, span.track, span.unit)]
+        occurrence = chunks[span.chunk].index(index)
+        prior = chunks.get(span.chunk - 1, [])
+        if occurrence < len(prior):
+            preds[index].append(prior[occurrence])
+        producers = [
+            j
+            for j in by_unit.get((span.tag, span.unit, span.chunk), [])
+            if j != index
+            and spans[j].dst == span.src
+            and spans[j].end <= span.start + tol
+        ]
+        if producers:
+            # The binding handoff: the latest producer that could have
+            # released this send.
+            preds[index].append(max(producers, key=lambda j: _end_key(spans, j)))
+    return preds
+
+
+def _stitch_orphans(
+    spans: Sequence[ChunkSpan], preds: List[List[int]], tol: float
+) -> int:
+    """Give every predecessor-less node the latest span ending by its start.
+
+    Returns the number of stitched edges. Stitches are what carry the
+    path across stage boundaries, iteration boundaries, and straggler
+    readiness waits — see the module docstring.
+    """
+    order_by_end = sorted(range(len(spans)), key=lambda i: _end_key(spans, i))
+    ends = [spans[i].end for i in order_by_end]
+    stitched = 0
+    for index, span in enumerate(spans):
+        if preds[index]:
+            continue
+        position = bisect.bisect_right(ends, span.start + tol)
+        for k in range(position - 1, -1, -1):
+            j = order_by_end[k]
+            if j != index and spans[j].end <= span.start + tol:
+                preds[index].append(j)
+                stitched += 1
+                break
+    return stitched
+
+
+# -- critical path, waits, slack ------------------------------------------------------
+
+
+def _walk_critical_path(
+    spans: Sequence[ChunkSpan], preds: Sequence[Sequence[int]]
+) -> List[int]:
+    """Backward walk from the latest-ending span along binding edges.
+
+    The binding predecessor of a node is the one that *ends last* — the
+    constraint that actually held the node's start back. Returns indices
+    in chronological order.
+    """
+    if not spans:
+        return []
+    current = max(range(len(spans)), key=lambda i: _end_key(spans, i))
+    path = [current]
+    visited = {current}
+    while preds[current]:
+        binding = max(preds[current], key=lambda i: _end_key(spans, i))
+        if binding in visited:  # paranoia: zero-duration tie cycles
+            break
+        path.append(binding)
+        visited.add(binding)
+        current = binding
+    path.reverse()
+    return path
+
+
+def _slack_seconds(
+    spans: Sequence[ChunkSpan],
+    preds: Sequence[Sequence[int]],
+    makespan_end: float,
+) -> List[float]:
+    """Per-node slack: how late each span could end without moving the
+    makespan, via the reverse DP ``latest_allowed_end(n) = min over
+    successors s of (latest_allowed_end(s) - duration(s))``."""
+    count = len(spans)
+    succs: List[List[int]] = [[] for _ in range(count)]
+    pending = [0] * count  # successors not yet resolved
+    for index in range(count):
+        for pred in preds[index]:
+            succs[pred].append(index)
+            pending[pred] += 1
+    latest = [makespan_end] * count
+    ready = [i for i in range(count) if pending[i] == 0]
+    while ready:
+        index = ready.pop()
+        allowed = makespan_end
+        for succ in succs[index]:
+            allowed = min(allowed, latest[succ] - spans[succ].duration)
+        latest[index] = allowed
+        for pred in preds[index]:
+            pending[pred] -= 1
+            if pending[pred] == 0:
+                ready.append(pred)
+    # Nodes left pending would sit on a (degenerate) cycle: call them
+    # critical rather than crash.
+    return [
+        max(0.0, latest[i] - spans[i].end) if pending[i] == 0 else 0.0
+        for i in range(count)
+    ]
+
+
+def _rank_of(node_name: str) -> Optional[int]:
+    """GPU node name → rank (``"g3"`` → 3); None for NICs/unknowns."""
+    if len(node_name) >= 2 and node_name[0] == "g" and node_name[1:].isdigit():
+        return int(node_name[1:])
+    return None
+
+
+def extract_readiness(records: Sequence[Dict[str, Any]]) -> List[Dict[int, float]]:
+    """Per-decision ready delays from ``ski-rental-decision`` instants.
+
+    A straggler's delay happens *before* its first send, so it never shows
+    up as a span — but the coordinator's decision instants carry every
+    rank's ready delay. Returns one ``{rank: delay_seconds}`` mapping per
+    decision, in file order.
+    """
+    out: List[Dict[int, float]] = []
+    for record in records:
+        if record.get("type") != "event":
+            continue
+        if record.get("name") != "ski-rental-decision":
+            continue
+        delays = {
+            int(rank): float(delay)
+            for rank, delay in (record.get("args", {}).get("ready_delays") or {}).items()
+            if delay is not None
+        }
+        if delays:
+            out.append(delays)
+    return out
+
+
+def _readiness_excess(readiness: Sequence[Dict[int, float]]) -> Dict[int, float]:
+    """Per-rank readiness seconds in excess of each decision's median.
+
+    The same excess-over-median rule the watchdog's straggler detector
+    applies (in raw seconds rather than buy-cost units), summed across
+    decisions.
+    """
+    excess: Dict[int, float] = {}
+    for delays in readiness:
+        ordered = sorted(delays.values())
+        median = ordered[len(ordered) // 2]
+        for rank, delay in delays.items():
+            late = delay - median
+            if late > 0.0:
+                excess[rank] = excess.get(rank, 0.0) + late
+    return excess
+
+
+# -- the report -----------------------------------------------------------------------
+
+
+def analyze_spans(
+    spans: Sequence[ChunkSpan],
+    strategy=None,
+    tol: float = TIME_TOL,
+    readiness: Sequence[Dict[int, float]] = (),
+) -> Dict[str, Any]:
+    """Critical path + attribution over extracted chunk spans.
+
+    Returns the JSON-able report dict (see DESIGN.md §12 for the schema).
+    With ``strategy`` the execution DAG comes from the strategy's chunk
+    dependencies (mode ``"dag"``); without, it is inferred from the spans
+    (mode ``"inferred"``). Either way the report's ``path`` tiles
+    ``[start_seconds, end_seconds]`` exactly: busy segments are the
+    critical spans, wait segments the gaps before them.
+
+    ``readiness`` (per-decision ``{rank: delay_seconds}`` mappings, see
+    :func:`extract_readiness`) attributes pre-send straggler delays —
+    invisible to spans — to the late rank and its egress link as
+    ``readiness_seconds``, which count toward the top-1 pick.
+    """
+    spans = list(spans)
+    report: Dict[str, Any] = {
+        "kind": REPORT_KIND,
+        "schema": REPORT_SCHEMA,
+        "clock": "sim",
+        "mode": "dag" if strategy is not None else "inferred",
+        "span_count": len(spans),
+    }
+    if not spans:
+        report.update(
+            start_seconds=0.0, end_seconds=0.0, total_seconds=0.0,
+            busy_seconds=0.0, wait_seconds=0.0, overlap_seconds=0.0,
+            readiness_seconds=0.0, inferred_edges=0, path=[], links={},
+            ranks={}, stages={}, top_link=None, top_rank=None,
+        )
+        return report
+
+    if strategy is not None:
+        preds = _dag_predecessors(spans, strategy)
+    else:
+        preds = _inferred_predecessors(spans, tol)
+    report["inferred_edges"] = _stitch_orphans(spans, preds, tol)
+
+    start_seconds = min(span.start for span in spans)
+    end_seconds = max(span.end for span in spans)
+    total = end_seconds - start_seconds
+    path = _walk_critical_path(spans, preds)
+    slack = _slack_seconds(spans, preds, end_seconds)
+
+    # Tile [start_seconds, end_seconds] with wait/busy segments along the
+    # path. Overlaps (a span starting before its binding predecessor
+    # ended — a race the ``--races`` pass would flag) are clamped and
+    # totalled so the durations still sum.
+    segments: List[Dict[str, Any]] = []
+    busy_total = wait_total = overlap_total = 0.0
+    cursor = start_seconds
+    for index in path:
+        span = spans[index]
+        if span.start > cursor + tol:
+            wait = span.start - cursor
+            segments.append(
+                {
+                    "kind": "wait",
+                    "link": span.link,
+                    "source": span.src,
+                    "start": cursor,
+                    "end": span.start,
+                    "seconds": wait,
+                }
+            )
+            wait_total += wait
+            cursor = span.start
+        elif span.start < cursor - tol:
+            overlap_total += cursor - span.start
+        busy_start = max(cursor, span.start)
+        busy = max(0.0, span.end - busy_start)
+        segments.append(
+            {
+                "kind": "span",
+                "tag": span.tag,
+                "link": span.link,
+                "unit": span.unit,
+                "chunk": span.chunk,
+                "start": busy_start,
+                "end": span.end,
+                "seconds": busy,
+                "slack_seconds": slack[index],
+            }
+        )
+        busy_total += busy
+        cursor = max(cursor, span.end)
+
+    # Attribution: wait segments charge the waiting span's link/source
+    # (that is where readiness was missing); busy segments charge their
+    # own link, stage, and both GPU endpoints.
+    links: Dict[str, Dict[str, Any]] = {}
+    ranks: Dict[str, Dict[str, Any]] = {}
+    stages: Dict[str, Dict[str, Any]] = {}
+
+    def _link_entry(link: str) -> Dict[str, Any]:
+        return links.setdefault(
+            link,
+            {
+                "critical_seconds": 0.0,
+                "wait_seconds": 0.0,
+                "readiness_seconds": 0.0,
+                "share": 0.0,
+                "spans": 0,
+                "critical_spans": 0,
+                "min_slack_seconds": None,
+            },
+        )
+
+    def _rank_entry(rank: int) -> Dict[str, Any]:
+        return ranks.setdefault(
+            f"rank{rank}",
+            {
+                "critical_seconds": 0.0,
+                "wait_seconds": 0.0,
+                "readiness_seconds": 0.0,
+                "share": 0.0,
+            },
+        )
+
+    for span, node_slack in zip(spans, slack):
+        entry = _link_entry(span.link)
+        entry["spans"] += 1
+        if entry["min_slack_seconds"] is None or node_slack < entry["min_slack_seconds"]:
+            entry["min_slack_seconds"] = node_slack
+
+    for segment in segments:
+        entry = _link_entry(segment["link"])
+        if segment["kind"] == "wait":
+            entry["wait_seconds"] += segment["seconds"]
+            rank = _rank_of(segment["source"])
+            if rank is not None:
+                _rank_entry(rank)["wait_seconds"] += segment["seconds"]
+            continue
+        entry["critical_seconds"] += segment["seconds"]
+        entry["critical_spans"] += 1
+        stage = stages.setdefault(
+            segment["tag"].split(":", 1)[0],
+            {"critical_seconds": 0.0, "share": 0.0, "spans": 0},
+        )
+        stage["critical_seconds"] += segment["seconds"]
+        stage["spans"] += 1
+        link = segment["link"]
+        if "->" in link:
+            src, dst = link.split("->", 1)
+            for endpoint in (src, dst):
+                rank = _rank_of(endpoint)
+                if rank is not None:
+                    _rank_entry(rank)["critical_seconds"] += segment["seconds"]
+
+    # Readiness excess precedes the late rank's first send, so it charges
+    # the rank itself and — deterministically — its smallest egress link
+    # among the observed spans (the path its late tensor leaves on).
+    egress: Dict[int, str] = {}
+    for span in spans:
+        rank = _rank_of(span.src)
+        if rank is None:
+            continue
+        if rank not in egress or span.link < egress[rank]:
+            egress[rank] = span.link
+    readiness_total = 0.0
+    for rank, seconds in sorted(_readiness_excess(readiness).items()):
+        readiness_total += seconds
+        _rank_entry(rank)["readiness_seconds"] += seconds
+        link = egress.get(rank)
+        if link is not None:
+            _link_entry(link)["readiness_seconds"] += seconds
+
+    for entry in links.values():
+        entry["share"] = (
+            (entry["critical_seconds"] + entry["wait_seconds"]) / total
+            if total > 0
+            else 0.0
+        )
+    for entry in ranks.values():
+        entry["share"] = (
+            (entry["critical_seconds"] + entry["wait_seconds"]) / total
+            if total > 0
+            else 0.0
+        )
+    for entry in stages.values():
+        entry["share"] = entry["critical_seconds"] / total if total > 0 else 0.0
+
+    def _top(table: Dict[str, Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+        scored = [
+            (
+                entry["critical_seconds"]
+                + entry.get("wait_seconds", 0.0)
+                + entry.get("readiness_seconds", 0.0),
+                name,
+            )
+            for name, entry in table.items()
+        ]
+        if not scored:
+            return None
+        seconds, name = max(scored, key=lambda item: (item[0], item[1]))
+        return {
+            "name": name,
+            "seconds": seconds,
+            "share": seconds / total if total > 0 else 0.0,
+        }
+
+    report.update(
+        start_seconds=start_seconds,
+        end_seconds=end_seconds,
+        total_seconds=total,
+        busy_seconds=busy_total,
+        wait_seconds=wait_total,
+        overlap_seconds=overlap_total,
+        readiness_seconds=readiness_total,
+        path=segments,
+        links=links,
+        ranks=ranks,
+        stages=stages,
+        top_link=_top(links),
+        top_rank=_top(ranks),
+    )
+    return report
+
+
+def analyze_run(run, strategy=None, tol: float = TIME_TOL) -> Dict[str, Any]:
+    """Analyze a parsed :class:`~repro.telemetry.export.TelemetryRun`."""
+    return analyze_spans(
+        extract_chunk_spans(run.records),
+        strategy=strategy,
+        tol=tol,
+        readiness=extract_readiness(run.records),
+    )
+
+
+def report_to_json(report: Dict[str, Any]) -> str:
+    """The report as canonical JSON text (byte-identical per seed)."""
+    return json.dumps(report, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def render_report(report: Dict[str, Any], top: int = 5) -> str:
+    """Human-readable summary of a critpath report."""
+    lines = [
+        f"critical path over {report['span_count']} chunk spans "
+        f"({report['mode']} DAG, {report.get('inferred_edges', 0)} stitched "
+        "edge(s))",
+        f"  window  : {report['start_seconds']:.6f}s -> "
+        f"{report['end_seconds']:.6f}s ({report['total_seconds']:.6f}s)",
+        f"  on path : busy {report['busy_seconds']:.6f}s, "
+        f"wait {report['wait_seconds']:.6f}s",
+    ]
+    if report.get("readiness_seconds", 0.0) > 0.0:
+        lines.append(
+            f"  readiness: {report['readiness_seconds']:.6f}s of straggler "
+            "excess (pre-send, charged to the late ranks)"
+        )
+    top_link = report.get("top_link")
+    if top_link:
+        lines.append(
+            f"  top link: {top_link['name']} carries "
+            f"{top_link['share'] * 100:.1f}% of the critical path "
+            f"({top_link['seconds']:.6f}s)"
+        )
+    top_rank = report.get("top_rank")
+    if top_rank:
+        lines.append(
+            f"  top rank: {top_rank['name']} "
+            f"({top_rank['share'] * 100:.1f}%, {top_rank['seconds']:.6f}s)"
+        )
+    ordered = sorted(
+        report.get("links", {}).items(),
+        key=lambda item: (
+            -(item[1]["critical_seconds"] + item[1]["wait_seconds"]),
+            item[0],
+        ),
+    )
+    if ordered:
+        lines.append("  links (critical + wait seconds, min slack):")
+        for name, entry in ordered[:top]:
+            slack_text = (
+                f"{entry['min_slack_seconds']:.6f}s"
+                if entry["min_slack_seconds"] is not None
+                else "-"
+            )
+            lines.append(
+                f"    {name:<14} {entry['critical_seconds']:.6f}s + "
+                f"{entry['wait_seconds']:.6f}s  ({entry['share'] * 100:5.1f}%)"
+                f"  slack {slack_text}"
+            )
+    ordered_stages = sorted(
+        report.get("stages", {}).items(),
+        key=lambda item: (-item[1]["critical_seconds"], item[0]),
+    )
+    if ordered_stages:
+        lines.append("  stages:")
+        for name, entry in ordered_stages:
+            lines.append(
+                f"    {name:<14} {entry['critical_seconds']:.6f}s "
+                f"({entry['share'] * 100:5.1f}%, {entry['spans']} span(s))"
+            )
+    return "\n".join(lines) + "\n"

@@ -15,7 +15,7 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ObserveError
 
@@ -66,6 +66,10 @@ class AnomalyVerdict:
     #: Logical-topology links implicated by this verdict (``"gX->gY"`` /
     #: ``"nA->nB"`` strings); empty when the verdict names no link.
     implicated_links: Tuple[str, ...] = ()
+    #: The critical-path engine's top-1 bottleneck link for the iteration
+    #: that raised this verdict, when it corroborates the implication
+    #: (``None`` when no attribution ran or the culprit lies elsewhere).
+    attributed_link: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.evidence:
@@ -87,6 +91,7 @@ class AnomalyVerdict:
             "baseline": self.baseline,
             "evidence": [list(sample) for sample in self.evidence],
             "implicated_links": list(self.implicated_links),
+            "attributed_link": self.attributed_link,
         }
 
 

@@ -117,7 +117,15 @@ class Watchdog(TelemetryConsumer):
       :class:`~repro.synthesis.strategy.Strategy` (or ``None``);
     * ``resynthesize`` — callable taking a reason string, installing a
       fresh strategy (through the two-phase transition machinery where
-      one exists) and returning it.
+      one exists) and returning it;
+    * ``attribution`` — zero-arg callable returning the current
+      iteration's top-1 attributed bottleneck link (``"g0->n1"`` form) or
+      ``None`` — typically :meth:`repro.critpath.consumer.
+      CritpathConsumer.top_link`. When the attributed link is among a
+      verdict round's implicated links, the re-probe narrows to that
+      link (plus its reverse direction, when implicated — a probe
+      measures the physical medium both ways) and the verdicts carry it
+      as ``attributed_link``.
     """
 
     def __init__(
@@ -128,6 +136,7 @@ class Watchdog(TelemetryConsumer):
         current_strategy: Optional[Callable[[], object]] = None,
         resynthesize: Optional[Callable[[str], object]] = None,
         synthesizer=None,
+        attribution: Optional[Callable[[], Optional[str]]] = None,
     ):
         self.topology = topology
         self.config = config or ObserveConfig()
@@ -135,6 +144,10 @@ class Watchdog(TelemetryConsumer):
         self.current_strategy = current_strategy
         self.resynthesize = resynthesize
         self.synthesizer = synthesizer
+        self.attribution = attribution
+        #: The attribution hook's answer for the iteration being scored
+        #: (refreshed at the top of :meth:`end_iteration`).
+        self._attributed_link: Optional[str] = None
         self.log = ObserveLog()
         self.log.append(self.config.header())
         self._hub: Optional[TelemetryHub] = None
@@ -264,6 +277,11 @@ class Watchdog(TelemetryConsumer):
             return []
         self._iteration = iteration
         now = self.sim.now
+        # One attribution query per iteration: verdicts and the re-probe
+        # below must agree on the culprit they cite.
+        self._attributed_link = (
+            self.attribution() if self.attribution is not None else None
+        )
 
         # 1. Per-link throughput samples out of the iteration accumulators.
         for link in sorted(self._link_busy):
@@ -332,6 +350,11 @@ class Watchdog(TelemetryConsumer):
             baseline=tracker.baseline.mean,
             evidence=tuple(tracker.snapshot_evidence()),
             implicated_links=implicated,
+            attributed_link=(
+                self._attributed_link
+                if self._attributed_link in implicated
+                else None
+            ),
         )
         tracker.cusum.reset()
         self._mute(subject, iteration)
@@ -452,9 +475,32 @@ class Watchdog(TelemetryConsumer):
         )
         if not implicated or self.profiler is None:
             return
-        edges = self._profiled_edges_for(implicated)
-        if not edges:
+        refresh_edges = self._profiled_edges_for(implicated)
+        if not refresh_edges:
             return
+        # When the critical-path engine attributes the iteration to one of
+        # the implicated links, narrow the probe to that link and its
+        # reverse direction (a probe measures the physical medium both
+        # ways) — the other implicated links were symptoms, not the
+        # bottleneck. The attribution must corroborate the evidence
+        # (culprit ∈ implicated) and resolve to a profiled edge;
+        # otherwise probe the full implicated set as before.
+        attributed = self._attributed_link
+        edges = refresh_edges
+        if attributed in implicated:
+            src, dst = link_endpoints(attributed)
+            pair = [
+                link
+                for link in (attributed, f"{dst}->{src}")
+                if link in implicated
+            ]
+            narrowed = self._profiled_edges_for(pair)
+            if narrowed:
+                edges = narrowed
+            else:
+                attributed = None
+        else:
+            attributed = None
         started = self.sim.now
         self.profiler.reprobe(edges)
         self._reprobe_count += 1
@@ -467,6 +513,7 @@ class Watchdog(TelemetryConsumer):
                 "verdicts": [verdict.verdict_id for verdict in verdicts],
                 "implicated_links": implicated,
                 "probed_links": probed,
+                "attributed_link": attributed,
                 "start": started,
                 "end": self.sim.now,
                 "iteration": self._iteration,
@@ -481,14 +528,17 @@ class Watchdog(TelemetryConsumer):
                 track="observe",
                 reprobe=reprobe_id,
                 links=probed,
+                attributed=attributed,
                 verdicts=[verdict.verdict_id for verdict in verdicts],
             )
             hub.metrics.counter(
                 "observe_reprobes_total", "targeted profiler re-probes"
             ).inc()
-        # The refreshed estimates define the new normal for every probed
-        # subject: re-baseline so the loop doesn't re-fire on stale state.
-        for link in probed:
+        # The refreshed estimates define the new normal for every
+        # implicated subject — including the ones the attribution spared
+        # from probing, whose detectors fired on the same episode and
+        # must not re-raise it as a fresh anomaly next iteration.
+        for link in sorted(f"{edge.src}->{edge.dst}" for edge in refresh_edges):
             if link in self._link_signals:
                 self._link_signals[link].rebaseline()
             fit_subject = f"fit:{link}"

@@ -5,7 +5,8 @@ Two subcommands:
 * ``summarize <run.jsonl>`` — per-collective latency table, link
   utilization table, ski-rental decision table, and a chronological
   decision log (synthesis choices, relay verdicts, chaos events, service
-  degradations);
+  degradations); ``--top N`` appends the N slowest spans of each span
+  kind;
 * ``chrome <run.jsonl> [-o out.trace.json]`` — convert a JSONL run into
   Chrome trace-event JSON for Perfetto / ``chrome://tracing``.
 """
@@ -23,6 +24,7 @@ from repro.telemetry.export import (
     read_jsonl,
     summarize_collectives,
     summarize_links,
+    summarize_slowest,
     write_chrome_trace,
 )
 
@@ -84,6 +86,21 @@ def _decision_table(run: TelemetryRun) -> Optional[Table]:
     return table
 
 
+def _slowest_table(run: TelemetryRun, top: int) -> Optional[Table]:
+    rows = summarize_slowest(run, top=top)
+    if not rows:
+        return None
+    table = Table(
+        f"Slowest spans per kind (top {top})", ["kind", "track", "start_s", "dur_s"]
+    )
+    for row in rows:
+        table.add_row(
+            row["name"],
+            [row["kind"], row["track"], row["start_seconds"], row["duration_seconds"]],
+        )
+    return table
+
+
 def _decision_log(run: TelemetryRun) -> List[str]:
     lines = []
     for event in run.events:
@@ -96,8 +113,12 @@ def _decision_log(run: TelemetryRun) -> List[str]:
     return lines
 
 
-def summarize(path: str) -> int:
-    """Print the run summary; returns a process exit code."""
+def summarize(path: str, top: int = 0) -> int:
+    """Print the run summary; returns a process exit code.
+
+    With ``top > 0`` a slowest-spans table (grouped by span kind) is
+    appended to the standard tables.
+    """
     run = read_jsonl(path)
     meta = run.meta
     print(
@@ -105,7 +126,10 @@ def summarize(path: str) -> int:
         f"{len(run.spans)} spans, {len(run.events)} events)\n"
     )
     shown = False
-    for table in (_collective_table(run), _link_table(run), _decision_table(run)):
+    tables = [_collective_table(run), _link_table(run), _decision_table(run)]
+    if top > 0:
+        tables.append(_slowest_table(run, top))
+    for table in tables:
         if table is not None:
             table.show()
             shown = True
@@ -151,13 +175,20 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     p_sum = sub.add_parser("summarize", help="print latency/decision tables for a run")
     p_sum.add_argument("run", help="path to a JSONL run file")
+    p_sum.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also show the N slowest spans of each span kind",
+    )
     p_chrome = sub.add_parser("chrome", help="convert a JSONL run to Chrome trace JSON")
     p_chrome.add_argument("run", help="path to a JSONL run file")
     p_chrome.add_argument("-o", "--output", default=None, help="output path")
     args = parser.parse_args(argv)
     try:
         if args.command == "summarize":
-            return summarize(args.run)
+            return summarize(args.run, top=args.top)
         return chrome(args.run, args.output)
     except (TelemetryError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -136,6 +136,99 @@ def _track_ids(tracks: Iterable[str]) -> Dict[str, int]:
     return {name: tid for tid, name in enumerate(sorted(set(tracks)))}
 
 
+#: Tolerance when matching a handoff's producer end to a consumer start.
+_FLOW_TOL = 1e-9
+
+
+def _link_parts(track: str) -> Optional[tuple]:
+    link = track[len("link:"):] if track.startswith("link:") else track
+    if "->" not in link:
+        return None
+    src, dst = link.split("->", 1)
+    return src, dst
+
+
+def _flow_events(
+    records: List[Dict[str, Any]], tids: Dict[str, int]
+) -> List[Dict[str, Any]]:
+    """Flow (``ph: s``/``f``) pairs for cross-link chunk handoffs.
+
+    Mirrors the critpath engine's inferred handoff rule: a chunk ``:send``
+    span's producer is the latest-ending ``:send`` of the same (tag, unit,
+    chunk) whose link destination is the consumer's source endpoint and
+    which ended by the consumer's start. Each matched pair becomes one
+    flow — an arrow in Perfetto from the producer slice's end to the
+    consumer slice's start — with ids assigned in consumer record order,
+    so same-seed runs stay byte-identical.
+    """
+    sends = []
+    for record in records:
+        if record.get("type") != "span" or record.get("cat") != "chunk":
+            continue
+        name = record.get("name", "")
+        if not name.endswith(":send") or record.get("end") is None:
+            continue
+        args = record.get("args", {})
+        chunk = int(args.get("chunk", -1))
+        if chunk < 0:
+            continue
+        parts = _link_parts(record.get("track", ""))
+        if parts is None:
+            continue
+        sends.append(
+            (record, name[: -len(":send")], str(args.get("unit", "")), chunk, parts)
+        )
+
+    by_key: Dict[tuple, List[int]] = {}
+    for index, (_record, tag, unit, chunk, _parts) in enumerate(sends):
+        by_key.setdefault((tag, unit, chunk), []).append(index)
+
+    events: List[Dict[str, Any]] = []
+    flow_id = 0
+    for index, (record, tag, unit, chunk, (src, _dst)) in enumerate(sends):
+        start = float(record["start"])
+        producers = [
+            j
+            for j in by_key[(tag, unit, chunk)]
+            if j != index
+            and sends[j][4][1] == src
+            and float(sends[j][0]["end"]) <= start + _FLOW_TOL
+        ]
+        if not producers:
+            continue
+        producer = max(
+            producers,
+            key=lambda j: (float(sends[j][0]["end"]), float(sends[j][0]["start"]), j),
+        )
+        source = sends[producer][0]
+        flow_id += 1
+        common = {
+            "name": "chunk-handoff",
+            "cat": "flow",
+            "pid": TRACE_PID,
+            "id": flow_id,
+            "args": {"chunk": chunk, "unit": unit},
+        }
+        events.append(
+            dict(
+                common,
+                ph="s",
+                tid=tids[source.get("track", "") or "main"],
+                ts=float(source["end"]) * 1e6,
+            )
+        )
+        events.append(
+            dict(
+                common,
+                ph="f",
+                bp="e",
+                tid=tids[record.get("track", "") or "main"],
+                ts=start * 1e6,
+            )
+        )
+    return events
+
+
 def to_chrome_trace(
     source: Union[TelemetryHub, TelemetryRun], clock: str = "sim"
 ) -> Dict[str, Any]:
@@ -144,7 +237,9 @@ def to_chrome_trace(
     Spans become complete (``"ph": "X"``) events, instants become
     ``"ph": "i"``; timestamps are microseconds as the format requires.
     Every track gets a ``thread_name`` metadata event so Perfetto shows
-    one named row per rank/link.
+    one named row per rank/link, and every cross-link chunk handoff gets
+    a flow (``"s"``/``"f"``) pair so Perfetto draws the arrow from the
+    producing send to the consuming one (see :func:`_flow_events`).
     """
     if isinstance(source, TelemetryHub):
         records = _ordered_records(source)
@@ -204,6 +299,7 @@ def to_chrome_trace(
             duration = (float(end) - float(record["start"])) * 1e6
             trace_events.append(dict(base, ph="X", dur=duration))
 
+    trace_events.extend(_flow_events(records, tids))
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
@@ -243,6 +339,38 @@ def summarize_collectives(run: TelemetryRun) -> List[Dict[str, Any]]:
                 "max_seconds": max(durations),
             }
         )
+    return rows
+
+
+def summarize_slowest(run: TelemetryRun, top: int = 5) -> List[Dict[str, Any]]:
+    """The ``top`` slowest closed spans of each span kind (category).
+
+    Rows come out grouped by kind (sorted), slowest first within a group,
+    with deterministic tiebreaks (start, then span id) so the same run
+    always tabulates identically.
+    """
+    by_kind: Dict[str, List[Dict[str, Any]]] = {}
+    for span in run.spans:
+        end = span.get("end")
+        if end is None:
+            continue
+        by_kind.setdefault(span.get("cat", "") or "uncategorized", []).append(span)
+    rows: List[Dict[str, Any]] = []
+    for kind in sorted(by_kind):
+        ordered = sorted(
+            by_kind[kind],
+            key=lambda s: (-(s["end"] - s["start"]), s["start"], s.get("id", "")),
+        )
+        for span in ordered[: max(0, top)]:
+            rows.append(
+                {
+                    "kind": kind,
+                    "name": span.get("name", ""),
+                    "track": span.get("track", ""),
+                    "start_seconds": span["start"],
+                    "duration_seconds": span["end"] - span["start"],
+                }
+            )
     return rows
 
 

@@ -34,6 +34,7 @@ CANONICAL = [
     "telemetry",
     "observe",
     "races",
+    "critpath",
 ]
 
 
@@ -57,7 +58,7 @@ class TestRegistry:
 
     def test_serial_passes_marked(self):
         serial = {spec.name for spec in iter_passes() if spec.serial}
-        assert serial == {"telemetry", "observe", "races"}
+        assert serial == {"telemetry", "observe", "races", "critpath"}
 
 
 class TestFindings:

@@ -62,6 +62,14 @@ class TestSweepDeterminism:
             second, sort_keys=True
         )
 
+    def test_every_cell_gets_a_bottleneck_attribution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+        payload, _ = run_sweep(NAMES, quick=True, jobs=1)
+        for figure in payload["figures"].values():
+            assert set(figure["bottlenecks"]) == set(figure["cells"])
+            for link in figure["bottlenecks"].values():
+                assert link is None or "->" in link
+
     def test_timings_cover_every_cell(self, monkeypatch):
         monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
         _payload, timings = run_sweep(NAMES, quick=True, jobs=1)

@@ -186,6 +186,77 @@ class TestSignalTracker:
         assert tracker.snapshot_evidence()  # the window keeps rolling
 
 
+class TestDetectionEdges:
+    """Boundary behaviour: exactly-at-threshold, exactly-at-band, re-arm."""
+
+    def test_cusum_exactly_at_threshold_does_not_fire(self):
+        # fired uses a strict >: reaching the threshold is not crossing it.
+        detector = CusumDetector(threshold=1.0, drift=0.0)
+        detector.update(0.5)
+        detector.update(0.5)
+        assert detector.statistic == 1.0 and not detector.fired
+        detector.update(1e-9)
+        assert detector.fired
+
+    def test_tracker_rearms_after_recovery(self):
+        tracker = SignalTracker(
+            baseline=EwmaBaseline(warmup=2),
+            cusum=CusumDetector(threshold=0.5, drift=0.1),
+        )
+        for i in range(3):
+            tracker.observe(float(i), 10.0)
+        for i in range(3, 8):
+            tracker.observe(float(i), 20.0)
+        assert tracker.fired
+        tracker.rebaseline()
+        assert not tracker.fired
+        # The same stable level no longer looks anomalous...
+        for i in range(8, 12):
+            tracker.observe(float(i), 20.0)
+        assert not tracker.fired
+        # ...but a fresh shift re-fires from the new baseline.
+        for i in range(12, 18):
+            tracker.observe(float(i), 40.0)
+        assert tracker.fired
+
+    def _watchdog_with_finish(self, refreshed, hysteresis=0.25):
+        """A watchdog whose re-synthesis inputs are fully stubbed."""
+
+        class _Strategy:
+            predicted_time = 1.0
+
+        class _Synthesizer:
+            def finish_time(self, strategy):
+                return refreshed
+
+        calls = []
+        watchdog = Watchdog(
+            make_topology(),
+            config=ObserveConfig(hysteresis=hysteresis),
+            current_strategy=lambda: _Strategy(),
+            synthesizer=_Synthesizer(),
+            resynthesize=lambda reason: calls.append(reason) or _Strategy(),
+        )
+        return watchdog, calls
+
+    def test_ratio_exactly_at_hysteresis_band_stays_put(self):
+        # hysteresis=0.25 keeps the band edge binary-exact (1.25 - 1.0 == 0.25).
+        watchdog, calls = self._watchdog_with_finish(1.25)
+        watchdog._maybe_resynthesize("p1")
+        assert calls == []
+
+    def test_ratio_just_past_the_band_resynthesizes(self):
+        watchdog, calls = self._watchdog_with_finish(1.25 + 1e-6)
+        watchdog._maybe_resynthesize("p1")
+        assert calls == ["observe:p1"]
+
+    def test_ratio_below_the_band_resynthesizes_too(self):
+        # Speedups past the band also warrant a refresh (strategy too slow).
+        watchdog, calls = self._watchdog_with_finish(0.5)
+        watchdog._maybe_resynthesize("p2")
+        assert calls == ["observe:p2"]
+
+
 class TestObserveConfig:
     def test_invalid_tunables_rejected(self):
         with pytest.raises(ObserveError):

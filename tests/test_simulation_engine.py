@@ -341,3 +341,82 @@ class TestSemaphore:
         sem.acquire()
         sem.acquire()
         assert sem.available == 1
+
+
+class TestEventBatching:
+    """step() drains same-(time, priority) runs; semantics must not change."""
+
+    @staticmethod
+    def _burst_scenario(sim):
+        """Processes that pile many events onto the same instants."""
+        order = []
+
+        def worker(sim, name, delays):
+            for delay in delays:
+                yield sim.timeout(delay)
+                order.append((name, sim.now))
+
+        def spawner(sim):
+            yield sim.timeout(1.0)
+            # Same-instant spawns: resumptions are urgent, timeouts normal.
+            for i in range(4):
+                sim.process(worker(sim, f"late{i}", [0.0, 1.0]))
+            order.append(("spawner", sim.now))
+
+        for i in range(4):
+            sim.process(worker(sim, f"w{i}", [1.0, 0.0, 1.0]))
+        sim.process(spawner(sim))
+        return order
+
+    def test_batched_matches_unbatched_exactly(self):
+        runs = []
+        for batch in (True, False):
+            sim = Simulator(batch_events=batch)
+            assert sim.batch_events is batch
+            order = self._burst_scenario(sim)
+            sim.run()
+            runs.append(order)
+        assert runs[0] == runs[1]
+
+    def test_step_count_shrinks_under_batching(self):
+        counts = []
+        for batch in (True, False):
+            sim = Simulator(batch_events=batch)
+            self._burst_scenario(sim)
+            steps = 0
+            while sim.peek() != float("inf"):
+                sim.step()
+                steps += 1
+            counts.append(steps)
+        assert counts[0] < counts[1]
+
+    def test_exception_mid_batch_requeues_the_rest(self):
+        sim = Simulator(batch_events=True)
+        seen = []
+
+        def ok(sim, name):
+            yield sim.timeout(1.0)
+            seen.append(name)
+
+        def bad(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("boom")
+
+        sim.process(ok(sim, "a"))
+        sim.process(bad(sim))
+        sim.process(ok(sim, "b"))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+        # The batch aborted cleanly: the trailing same-instant event is
+        # still queued, not lost, and a fresh run() drains it.
+        assert sim.peek() == 1.0
+        sim.run()
+        assert seen == ["a", "b"]
+
+    def test_run_until_matches_unbatched_clock(self):
+        for batch in (True, False):
+            sim = Simulator(batch_events=batch)
+            self._burst_scenario(sim)
+            sim.run(until=1.0)
+            assert sim.now == 1.0
+            assert sim.peek() == 2.0

@@ -155,6 +155,18 @@ class TestMetrics:
         with pytest.raises(TelemetryError):
             registry.histogram("lat", buckets=(0.5, 5.0))
 
+    def test_histogram_boundary_values_land_in_the_lower_bucket(self):
+        # Buckets are upper-inclusive: value <= edge belongs to that bucket.
+        registry = MetricsRegistry()
+        histogram = registry.histogram("edge", buckets=(1.0, 2.0))
+        histogram.observe(1.0)  # exactly the first edge
+        histogram.observe(2.0)  # exactly the last edge
+        histogram.observe(2.0 + 1e-12)  # just past: +Inf
+        histogram.observe(0.0)
+        series = registry.snapshot()["edge"]["series"][0]
+        assert series["counts"] == [2, 1, 1]
+        assert histogram.count() == 4
+
     def test_kind_conflicts_rejected(self):
         registry = MetricsRegistry()
         registry.counter("x")
@@ -198,6 +210,29 @@ class TestExport:
         assert lint_chrome_trace(payload) == []
         phases = {event["ph"] for event in payload["traceEvents"]}
         assert "X" in phases and "M" in phases
+
+    def test_chrome_trace_has_paired_flow_arrows(self, fresh_hub):
+        _run_session()
+        payload = to_chrome_trace(fresh_hub)
+        flows = [e for e in payload["traceEvents"] if e["ph"] in ("s", "f")]
+        assert flows, "cross-rank chunk handoffs must emit flow events"
+        by_id = {}
+        for event in flows:
+            assert event["name"] == "chunk-handoff" and event["cat"] == "flow"
+            by_id.setdefault(event["id"], []).append(event)
+        for pair in by_id.values():
+            phases = sorted(event["ph"] for event in pair)
+            assert phases == ["f", "s"]
+            start = next(e for e in pair if e["ph"] == "s")
+            finish = next(e for e in pair if e["ph"] == "f")
+            assert finish["ts"] >= start["ts"]
+            assert finish["bp"] == "e"
+
+    def test_chrome_conversion_is_byte_stable(self, fresh_hub):
+        _run_session()
+        first = json.dumps(to_chrome_trace(fresh_hub), sort_keys=True)
+        second = json.dumps(to_chrome_trace(fresh_hub), sort_keys=True)
+        assert first == second
 
     def test_every_layer_emits(self, fresh_hub):
         _run_session()
@@ -339,6 +374,27 @@ class TestDeterminism:
         assert len(disabled_hub.tracer) == 0
         assert disabled_hub.metrics.names() == []
 
+    def test_event_batching_keeps_exports_byte_identical(self):
+        # Satellite invariant: flipping the engine's same-instant batching
+        # must not move a single recorded timestamp.
+        exports = []
+        for batch in (True, False):
+            fresh = TelemetryHub(enabled=True)
+            previous = set_hub(fresh)
+            try:
+                session = AdapCCSession(make_config([2, 2], [2, 2]), seed=0)
+                session.sim.batch_events = batch
+                session.init()
+                session.setup()
+                tensors = {rank: np.full(128, float(rank + 1)) for rank in range(4)}
+                session.allreduce(
+                    tensors, ready_times={0: 0.0, 1: 0.0, 2: 0.0, 3: 0.4}
+                )
+            finally:
+                set_hub(previous)
+            exports.append(to_jsonl(fresh))
+        assert exports[0] == exports[1]
+
 
 # -- network recorder unification ------------------------------------------------
 
@@ -417,6 +473,16 @@ class TestCLI:
         assert lint_chrome_trace(payload) == []
         assert lint_telemetry_file(str(run_path)) == []
         assert lint_telemetry_file(str(trace_path)) == []
+
+    def test_summarize_top_appends_slowest_spans(self, tmp_path, fresh_hub, capsys):
+        _run_session()
+        run_path = tmp_path / "run.jsonl"
+        run_path.write_text(to_jsonl(fresh_hub), encoding="utf-8")
+        assert telemetry_cli(["summarize", str(run_path), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Slowest spans per kind (top 3)" in out
+        assert telemetry_cli(["summarize", str(run_path)]) == 0
+        assert "Slowest spans" not in capsys.readouterr().out
 
     def test_summarize_missing_file_fails(self, tmp_path):
         assert telemetry_cli(["summarize", str(tmp_path / "absent.jsonl")]) == 1
