@@ -33,6 +33,7 @@ from repro.analysis.findings import SEVERITIES, severity_rank
 from repro.analysis.passes import (
     run_chaos_pass,
     run_critpath_pass,
+    run_integrity_pass,
     run_observe_pass,
     run_race_pass,
     run_recovery_pass,
@@ -52,6 +53,7 @@ __all__ = [
     "write_baseline",
     "run_chaos_pass",
     "run_critpath_pass",
+    "run_integrity_pass",
     "run_observe_pass",
     "run_race_pass",
     "run_recovery_pass",
@@ -196,6 +198,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="select the critical-path lint; optionally against an "
         "exported critpath report JSON file",
     )
+    parser.add_argument(
+        "--integrity",
+        nargs="?",
+        const=True,
+        default=False,
+        metavar="FILE",
+        help="select the data-plane integrity lint; optionally against an "
+        "exported integrity JSONL log",
+    )
     return parser
 
 
@@ -213,6 +224,7 @@ def _selection(args) -> Optional[List[str]]:
             ("observe", args.observe is not False),
             ("races", args.races),
             ("critpath", args.critpath is not False),
+            ("integrity", args.integrity is not False),
         )
         if on
     ]
@@ -236,6 +248,8 @@ def main(argv=None) -> int:
         targets["observe"] = args.observe
     if isinstance(args.critpath, str):
         targets["critpath"] = args.critpath
+    if isinstance(args.integrity, str):
+        targets["integrity"] = args.integrity
 
     try:
         baseline = load_baseline(Path(args.baseline)) if args.baseline else set()

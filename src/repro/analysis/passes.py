@@ -1,6 +1,6 @@
 """The built-in analysis passes, registered with the pass framework.
 
-The nine pass bodies live here (the scenario passes moved out of
+The ten pass bodies live here (the scenario passes moved out of
 ``__main__`` when the CLI became a thin shell over the framework). Each
 legacy entry point still returns bare :class:`Violation` records — tests
 and the executor pre-flight keep importing those — and a thin registered
@@ -525,6 +525,125 @@ def run_critpath_pass(
     return violations
 
 
+def run_integrity_pass(
+    target=None, seed: int = 11, echo: Echo = _silent
+) -> List[Violation]:
+    """Lint an integrity log — a given file, or fresh seeded scenarios.
+
+    With ``target`` a path, lint that exported integrity JSONL file. With
+    the bare ``--integrity`` flag, replay the canonical corruption plan at
+    both corruption sites through the chaos runner with the integrity
+    layer armed, and check:
+
+    * the log's causal chain (checksum coverage, conviction-has-evidence,
+      quarantine-implies-resynthesis, the log2 probe-round bound);
+    * digest determinism — a same-seed re-run's log is byte-identical;
+    * localization accuracy against the chaos ground truth — the injected
+      link (and only it) is convicted, within one iteration of its window
+      opening;
+    * exactness — the healed run's final tensors are bitwise equal to the
+      fault-free same-seed run's.
+    """
+    import json
+
+    from repro.analysis.lint_integrity import (
+        lint_integrity_file,
+        lint_integrity_records,
+    )
+
+    if isinstance(target, str):
+        violations = lint_integrity_file(target)
+        echo(f"integrity: linted {target}")
+        return violations
+
+    import numpy as np
+
+    from repro.chaos import ChaosRunner, FaultPlan
+    from repro.hardware.presets import make_homo_cluster
+    from repro.integrity import IntegrityConfig
+    from repro.telemetry.core import TelemetryHub, hub, set_hub
+
+    # Three instances: the NIC mesh then offers a detour (n0→n2→n1) for
+    # the quarantined link, so re-synthesis can actually heal the run.
+    specs = make_homo_cluster(num_servers=3, gpus_per_server=2)
+    violations: List[Violation] = []
+
+    def _run(plan):
+        previous = hub()
+        set_hub(TelemetryHub(enabled=True))
+        try:
+            return ChaosRunner(
+                specs, plan, length=512, integrity=IntegrityConfig()
+            ).run()
+        finally:
+            set_hub(previous)
+
+    reference = ChaosRunner(
+        specs, FaultPlan(seed=seed, iterations=5), length=512
+    ).run()
+
+    for site in ("wire", "kernel"):
+        plan = FaultPlan.corruption(
+            seed=seed, iterations=5, link="n0->n1", rate=0.6, site=site
+        )
+        fault = plan.corruptions[0]
+        report = _run(plan)
+        replay = _run(plan)
+        subject = f"seed{seed}:{site}"
+        if report.integrity_log != replay.integrity_log:
+            violations.append(
+                Violation(
+                    "integrity-determinism",
+                    subject,
+                    "same-seed replay produced a different integrity log",
+                )
+            )
+        records = [
+            json.loads(line) for line in report.integrity_log.splitlines()
+        ]
+        violations.extend(lint_integrity_records(records))
+        if report.convictions != [fault.link]:
+            violations.append(
+                Violation(
+                    "integrity-detection",
+                    subject,
+                    f"injected {fault.link}, convicted {report.convictions}",
+                )
+            )
+        detected_at = [
+            o.iteration for o in report.iterations if o.corruption_detections
+        ]
+        if not detected_at or detected_at[0] != fault.start_iteration:
+            violations.append(
+                Violation(
+                    "integrity-detection",
+                    subject,
+                    f"corruption window opens at iteration "
+                    f"{fault.start_iteration} but detection came at "
+                    f"{detected_at[:1] or None}",
+                )
+            )
+        outputs = report.final_outputs()
+        wanted = reference.final_outputs()
+        if not all(np.array_equal(outputs[r], wanted[r]) for r in outputs):
+            violations.append(
+                Violation(
+                    "integrity-exactness",
+                    subject,
+                    "healed run's final tensors differ from the fault-free "
+                    "same-seed run",
+                )
+            )
+        echo(
+            f"integrity: {site} site seed {seed} — "
+            f"{sum(o.corruption_detections for o in report.iterations)} "
+            f"detection(s), {report.probe_rounds} probe round(s), convicted "
+            f"{report.convictions}, quarantined {report.quarantined_links}; "
+            f"linted {len(records)} log records"
+        )
+    return violations
+
+
 # -- registration ---------------------------------------------------------------------
 
 
@@ -856,6 +975,47 @@ register(
             "hardware",
             "simulation",
             "analysis/lint_critpath.py",
+        ),
+        serial=True,
+        accepts_target=True,
+    )
+)
+
+register(
+    PassSpec(
+        name="integrity",
+        description="replay seeded silent-corruption plans with the "
+        "integrity layer armed and lint the detect→localize→quarantine→"
+        "re-synthesize chain (or lint a given integrity JSONL file)",
+        title="integrity lint",
+        rules=_err(
+            ("integrity-io", "integrity log unreadable"),
+            ("integrity-header", "log does not open with its config record"),
+            ("integrity-kind", "unknown integrity record kind"),
+            ("integrity-record", "record schema malformed"),
+            ("integrity-monotonic", "log timestamps regress"),
+            ("integrity-coverage", "checksum coverage is partial"),
+            ("integrity-probe-bound", "localization exceeded the log2 round bound"),
+            ("integrity-conviction-evidence", "conviction without direct evidence"),
+            ("integrity-quarantine", "quarantine without conviction or re-synthesis"),
+            ("integrity-detection", "injected link missed or clean link convicted"),
+            ("integrity-determinism", "same-seed logs not byte-identical"),
+            ("integrity-exactness", "healed run differs from the fault-free run"),
+        ),
+        run=lambda ctx: from_violations(
+            run_integrity_pass(target=ctx.target, echo=ctx.echo), "integrity"
+        ),
+        inputs=(
+            "integrity",
+            "chaos",
+            "topology",
+            "runtime",
+            "relay",
+            "recovery",
+            "hardware",
+            "simulation",
+            "telemetry",
+            "analysis/lint_integrity.py",
         ),
         serial=True,
         accepts_target=True,

@@ -2,18 +2,22 @@
 
 One :class:`FaultPlan` is a declarative, seed-replayable schedule of
 stragglers, crashes, link degradations, message faults, coordinator-role
-crashes and control-channel partitions; the
+crashes, control-channel partitions and silent link corruption; the
 :class:`ChaosInjector` applies it to a simulated cluster, and the
 :class:`ChaosRunner` drives it through the full relay/recovery stack.
 """
 
+from repro.chaos.corruption import PayloadCorruptor
 from repro.chaos.injector import ChaosInjector
 from repro.chaos.plan import (
+    BITFLIP,
     DECIDE_PHASE,
     DROP,
     DUPLICATE,
+    SCALE,
     TRANSITION_PHASE,
     CoordinatorCrashFault,
+    CorruptionFault,
     CrashFault,
     FaultPlan,
     LinkFault,
@@ -24,19 +28,23 @@ from repro.chaos.plan import (
 from repro.chaos.runner import ChaosRunner, ChaosRunReport, IterationOutcome
 
 __all__ = [
+    "BITFLIP",
     "DECIDE_PHASE",
     "DROP",
     "DUPLICATE",
+    "SCALE",
     "TRANSITION_PHASE",
     "ChaosInjector",
     "ChaosRunReport",
     "ChaosRunner",
     "CoordinatorCrashFault",
+    "CorruptionFault",
     "CrashFault",
     "FaultPlan",
     "IterationOutcome",
     "LinkFault",
     "MessageFault",
     "PartitionFault",
+    "PayloadCorruptor",
     "StragglerFault",
 ]

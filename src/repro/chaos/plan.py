@@ -7,7 +7,8 @@ the conformance suite — consumes the *plan*, never ambient randomness, so
 any chaos run can be replayed bit-for-bit from ``FaultPlan.generate(seed,
 ...)`` (or from the explicit event list itself).
 
-Six fault families (ISSUE 2's four, plus the recovery control plane's):
+Seven fault families (ISSUE 2's four, the recovery control plane's, plus
+the data-plane integrity layer's):
 
 * :class:`StragglerFault` — a per-rank delay added to the tensor-ready
   time of one iteration (drives the ski-rental wait-vs-relay decision);
@@ -25,7 +26,12 @@ Six fault families (ISSUE 2's four, plus the recovery control plane's):
   RecoveringControlPlane`;
 * :class:`PartitionFault` — a set of ranks loses the control channel for a
   window of iterations and heals, exercising epoch fencing (split-brain
-  resolution) without touching the data path.
+  resolution) without touching the data path;
+* :class:`CorruptionFault` — silent data corruption on one link's payloads
+  (a high-mantissa bit flip or a scaled payload), at the wire site
+  (caught by per-hop checksums) or the kernel site (past verification —
+  only the end-of-collective digest exchange sees it), single-shot or
+  intermittent at a seeded per-transmission rate.
 """
 
 from __future__ import annotations
@@ -36,10 +42,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ChaosError
+from repro.integrity.channel import SITE_KERNEL, SITE_WIRE
 
 #: Message-fault actions.
 DROP = "drop"
 DUPLICATE = "duplicate"
+
+#: Corruption-fault modes.
+BITFLIP = "bitflip"
+SCALE = "scale"
 
 #: Coordinator-crash phases: during the ski-rental decision scan, or
 #: between a strategy transition's prepare and its commit.
@@ -180,6 +191,60 @@ class PartitionFault:
 
 
 @dataclass(frozen=True)
+class CorruptionFault:
+    """Silently corrupt payloads crossing ``link`` (e.g. ``"n0->n1"``).
+
+    ``mode`` picks the mutation — :data:`BITFLIP` XORs a high mantissa
+    bit of one nonzero element (a classic SDC: large relative
+    displacement, no NaN), :data:`SCALE` multiplies the whole payload by
+    ``scale_factor``. ``site`` places the corruption relative to the hop
+    checksums: :data:`~repro.integrity.channel.SITE_WIRE` lands between
+    stamp and verify (the receiver's CRC32 names the link immediately),
+    :data:`~repro.integrity.channel.SITE_KERNEL` lands after verification
+    (the aggregation buffer), so only the digest exchange catches it.
+
+    ``rate`` is the per-transmission corruption probability over the
+    active window ``[start_iteration, end_iteration)`` (``1.0`` =
+    deterministic, below = intermittent; draws come from the plan-seeded
+    corruptor, so replays are bit-for-bit). ``max_corruptions`` caps the
+    total strikes — ``1`` models a single-shot upset.
+    """
+
+    link: str
+    mode: str = BITFLIP
+    rate: float = 1.0
+    start_iteration: int = 0
+    end_iteration: Optional[int] = None
+    site: str = SITE_WIRE
+    max_corruptions: Optional[int] = None
+    scale_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if "->" not in self.link:
+            raise ChaosError(f"corruption link must name a hop, got {self.link!r}")
+        if self.mode not in (BITFLIP, SCALE):
+            raise ChaosError(f"unknown corruption mode {self.mode!r}")
+        if not 0.0 < self.rate <= 1.0:
+            raise ChaosError("corruption rate must be in (0, 1]")
+        if self.start_iteration < 0:
+            raise ChaosError("iteration must be non-negative")
+        if self.end_iteration is not None and self.end_iteration <= self.start_iteration:
+            raise ChaosError("corruption window must end after it starts")
+        if self.site not in (SITE_WIRE, SITE_KERNEL):
+            raise ChaosError(f"unknown corruption site {self.site!r}")
+        if self.max_corruptions is not None and self.max_corruptions < 1:
+            raise ChaosError("max_corruptions must be >= 1")
+        if self.mode == SCALE and (self.scale_factor <= 0 or self.scale_factor == 1.0):
+            raise ChaosError("scale factor must be positive and != 1")
+
+    def active_at(self, iteration: int) -> bool:
+        """Whether the fault's window covers ``iteration``."""
+        if iteration < self.start_iteration:
+            return False
+        return self.end_iteration is None or iteration < self.end_iteration
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """One replayable chaos schedule for a multi-iteration run."""
 
@@ -191,6 +256,7 @@ class FaultPlan:
     message_faults: Tuple[MessageFault, ...] = ()
     coordinator_crashes: Tuple[CoordinatorCrashFault, ...] = ()
     partitions: Tuple[PartitionFault, ...] = ()
+    corruptions: Tuple[CorruptionFault, ...] = ()
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -201,6 +267,9 @@ class FaultPlan:
         crash_iterations = [c.iteration for c in self.coordinator_crashes]
         if len(crash_iterations) != len(set(crash_iterations)):
             raise ChaosError("at most one coordinator crash per iteration")
+        corrupted_links = [c.link for c in self.corruptions]
+        if len(corrupted_links) != len(set(corrupted_links)):
+            raise ChaosError("at most one corruption fault per link")
 
     # -- queries ---------------------------------------------------------------
 
@@ -243,6 +312,10 @@ class FaultPlan:
     def partitions_healing_at(self, iteration: int) -> List[PartitionFault]:
         """Partitions whose heal lands exactly at ``iteration``."""
         return [p for p in self.partitions if p.heal_iteration == iteration]
+
+    def corruptions_at(self, iteration: int) -> List[CorruptionFault]:
+        """Corruption faults whose window covers ``iteration``."""
+        return [c for c in self.corruptions if c.active_at(iteration)]
 
     def message_actions(self, rank: int) -> Dict[int, str]:
         """submission-index -> action map for one rank's work queue."""
@@ -287,6 +360,17 @@ class FaultPlan:
                     "iterations": tuple(sorted(straggler_iterations[rank])),
                 }
             )
+        for fault in self.corruptions:
+            labels.append(
+                {
+                    "kinds": ("silent-corruption",),
+                    "link": fault.link,
+                    "mode": fault.mode,
+                    "site": fault.site,
+                    "start_iteration": fault.start_iteration,
+                    "end_iteration": fault.end_iteration,
+                }
+            )
         return labels
 
     def signature(self) -> Tuple:
@@ -301,6 +385,7 @@ class FaultPlan:
             self.message_faults,
             self.coordinator_crashes,
             self.partitions,
+            self.corruptions,
         )
 
     # -- generation ------------------------------------------------------------
@@ -342,6 +427,48 @@ class FaultPlan:
         )
 
     @classmethod
+    def corruption(
+        cls,
+        seed: int,
+        iterations: int,
+        link: str,
+        mode: str = BITFLIP,
+        rate: float = 0.6,
+        site: str = SITE_WIRE,
+        start_iteration: int = 0,
+        end_iteration: Optional[int] = None,
+        max_corruptions: Optional[int] = None,
+        scale_factor: float = 2.0,
+    ) -> "FaultPlan":
+        """A plan with one silently-corrupting link and nothing else.
+
+        The canonical integrity scenario: ``link`` intermittently (at the
+        default ``rate=0.6``) corrupts payloads it carries, and the
+        integrity layer must detect it within one iteration, localize it
+        within the log2 probe bound, quarantine it, and retry the
+        corrupted iterations so the run's outputs stay bitwise-equal to
+        the fault-free same-seed run. Used by the ``--integrity`` lint
+        pass, ``tests/test_integrity.py``, and
+        ``examples/sdc_quarantine.py``.
+        """
+        return cls(
+            seed=seed,
+            iterations=iterations,
+            corruptions=(
+                CorruptionFault(
+                    link=link,
+                    mode=mode,
+                    rate=rate,
+                    start_iteration=start_iteration,
+                    end_iteration=end_iteration,
+                    site=site,
+                    max_corruptions=max_corruptions,
+                    scale_factor=scale_factor,
+                ),
+            ),
+        )
+
+    @classmethod
     def generate(
         cls,
         seed: int,
@@ -357,6 +484,8 @@ class FaultPlan:
         coordinator_crash_rate: float = 0.0,
         transition_crash_fraction: float = 0.25,
         partition_rate: float = 0.0,
+        corruption_rate: float = 0.0,
+        corruption_links: Sequence[str] = (),
     ) -> "FaultPlan":
         """Draw a random-but-replayable plan from ``seed``.
 
@@ -453,6 +582,27 @@ class FaultPlan:
                     PartitionFault(tuple(sorted(int(r) for r in chosen)), iteration, heal)
                 )
 
+        corruptions: List[CorruptionFault] = []
+        if corruption_rate > 0:
+            # Drawn last so plans generated with the pre-corruption rate
+            # set replay unchanged (same rng consumption order).
+            for link in corruption_links:
+                if rng.random() >= corruption_rate:
+                    continue
+                mode = BITFLIP if rng.random() < 0.5 else SCALE
+                site = SITE_WIRE if rng.random() < 0.5 else SITE_KERNEL
+                strike_rate = float(rng.uniform(0.3, 1.0))
+                start = int(rng.integers(0, iterations))
+                corruptions.append(
+                    CorruptionFault(
+                        link=link,
+                        mode=mode,
+                        rate=strike_rate,
+                        start_iteration=start,
+                        site=site,
+                    )
+                )
+
         return cls(
             seed=seed,
             iterations=iterations,
@@ -462,4 +612,5 @@ class FaultPlan:
             message_faults=tuple(message_faults),
             coordinator_crashes=tuple(coordinator_crashes),
             partitions=tuple(partitions),
+            corruptions=tuple(corruptions),
         )

@@ -40,12 +40,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.chaos.corruption import PayloadCorruptor
 from repro.chaos.injector import ChaosInjector
 from repro.chaos.plan import DECIDE_PHASE, TRANSITION_PHASE, FaultPlan
 from repro.critpath.consumer import CritpathConsumer
 from repro.errors import ChaosError
 from repro.hardware.cluster import Cluster
 from repro.hardware.instance import InstanceSpec
+from repro.integrity.channel import data_plane
+from repro.integrity.checksums import payload_digest
+from repro.integrity.monitor import (
+    IntegrityConfig,
+    IntegrityMonitor,
+    strategy_link_names,
+)
 from repro.observe.watchdog import ObserveConfig, Watchdog
 from repro.profiling.profiler import Profiler
 from repro.recovery.control_plane import RecoveringControlPlane
@@ -75,6 +83,9 @@ class IterationOutcome:
     #: Fencing epoch and lease holder under which the iteration ran.
     epoch: int = 1
     coordinator: int = 0
+    #: Integrity-layer activity (0 when no monitor is attached).
+    corruption_detections: int = 0
+    integrity_retries: int = 0
 
     @property
     def exact(self) -> bool:
@@ -101,6 +112,14 @@ class ChaosRunReport:
     replayed_records: int = 0
     #: The coordinator journal's stable content, for replay comparison.
     log_signature: Tuple = ()
+    #: Integrity-layer outcome (empty without a monitor).
+    convictions: List[str] = field(default_factory=list)
+    quarantined_links: List[str] = field(default_factory=list)
+    probe_rounds: int = 0
+    #: Corruptions the chaos side actually applied, replay-comparable.
+    corruption_trace: Tuple = ()
+    #: The integrity log's JSONL export (byte-identical across replays).
+    integrity_log: str = ""
 
     @property
     def all_exact(self) -> bool:
@@ -125,6 +144,7 @@ class ChaosRunner:
         recorder: Optional[TraceRecorder] = None,
         dataset_size: int = 4096,
         observe: Optional[ObserveConfig] = None,
+        integrity: Optional[IntegrityConfig] = None,
     ):
         self.sim = Simulator()
         self.cluster = Cluster(self.sim, specs)
@@ -148,6 +168,25 @@ class ChaosRunner:
             raise ChaosError("plan crashes ranks outside the cluster")
         if any(r not in ranks for p in plan.partitions for r in p.ranks):
             raise ChaosError("plan partitions ranks outside the cluster")
+        edge_names = {f"{src}->{dst}" for (src, dst) in self.topology.edges}
+        unknown = sorted(
+            c.link for c in plan.corruptions if c.link not in edge_names
+        )
+        if unknown:
+            raise ChaosError(f"plan corrupts links outside the topology: {unknown}")
+        # Data-plane parties: the corruptor exists whenever the plan
+        # schedules corruption (the attack is real even when undefended);
+        # the monitor only when the integrity layer is switched on.
+        self.corruptor: Optional[PayloadCorruptor] = None
+        if plan.corruptions:
+            self.corruptor = PayloadCorruptor(
+                plan.corruptions, seed=plan.seed, on_corrupt=self._on_corrupt
+            )
+        self.monitor: Optional[IntegrityMonitor] = None
+        if integrity is not None and integrity.enabled:
+            self.monitor = IntegrityMonitor(
+                integrity, seed=plan.seed, clock=lambda: self.sim.now
+            )
         self.members: List[int] = sorted(ranks)
         self.loader = ShardedDataLoader(
             dataset_size=dataset_size, global_batch=len(ranks) * 8, workers=list(ranks)
@@ -230,6 +269,86 @@ class ChaosRunner:
         )
         return self._strategy
 
+    # -- integrity --------------------------------------------------------------
+
+    def _on_corrupt(self, **payload) -> None:
+        """The corruptor's strike callback: land it in the chaos trace."""
+        self.injector.record(
+            "chaos-corruption",
+            payload["link"],
+            payload["site"],
+            payload["mode"],
+            payload["iteration"],
+            **payload,
+        )
+
+    def _resynthesize_for_integrity(self, link: str) -> Strategy:
+        """Quarantine-driven re-synthesis: same transactional two-phase
+        install path as membership changes and watchdog verdicts, on the
+        current membership over the capacity-masked topology."""
+        committed = self.control_plane.install_strategy(self.members)
+        tensor_size = self.length * 8 * self.byte_scale
+        self._strategy = self.synthesizer.synthesize(
+            Primitive.ALLREDUCE, tensor_size, list(committed)
+        )
+        self._strategy_members = tuple(self.members)
+        self.resyntheses += 1
+        self.injector.record(
+            "chaos-resynthesis", "synthesizer", tuple(self.members),
+            members=list(self.members), reason=f"integrity-quarantine:{link}",
+        )
+        return self._strategy
+
+    def _integrity_scan(
+        self,
+        iteration: int,
+        hop_before: int,
+        inputs: Dict[int, np.ndarray],
+        contributors: List[int],
+        result: AdaptiveResult,
+        strategy: Strategy,
+    ) -> Tuple[bool, Optional[Strategy]]:
+        """One attempt's detect→localize→convict→heal pass.
+
+        Returns ``(detected, new_strategy)``: whether this attempt's
+        output is corrupted (so the caller should retry), and the freshly
+        committed strategy when a conviction quarantined a link.
+        """
+        monitor = self.monitor
+        assert monitor is not None
+        # Per-hop evidence first: a checksum failure names its link.
+        new_hops = monitor.hop_failures[hop_before:]
+        hop_links = sorted({failure["link"] for failure in new_hops})
+        # The digest exchange closes over everything the hop checks miss.
+        input_digests = {rank: payload_digest(inputs[rank]) for rank in contributors}
+        outputs = {rank: result.outputs[rank] for rank in contributors}
+        mismatches = monitor.check_collective(
+            input_digests, outputs, site="runner", now=self.sim.now
+        )
+        if not new_hops and not mismatches:
+            return False, None
+        suspects: List[Tuple[str, str]] = [(link, "checksum") for link in hop_links]
+        if not hop_links:
+            # Digest-only detection: every link the strategy crossed is
+            # implicated; binary-search probes narrow it down.
+            localization = monitor.run_localization(strategy_link_names(strategy))
+            if localization.conclusive:
+                suspects.append((localization.link, "probe"))
+        new_strategy: Optional[Strategy] = None
+        for link, evidence in suspects:
+            convicted = monitor.suspect(link, evidence, now=self.sim.now)
+            if not convicted or not monitor.config.quarantine:
+                continue
+            self.topology.quarantine_link(link)
+            monitor.record_quarantine(link, now=self.sim.now)
+            self.injector.record(
+                "chaos-quarantine", link, iteration,
+                iteration=iteration, link=link,
+            )
+            new_strategy = self._resynthesize_for_integrity(link)
+            monitor.record_resynthesis(link, now=self.sim.now)
+        return True, new_strategy
+
     # -- inputs ----------------------------------------------------------------
 
     def _inputs_for(self, rng: np.random.Generator, ranks: Sequence[int]):
@@ -250,6 +369,23 @@ class ChaosRunner:
         report = ChaosRunReport(plan_signature=self.plan.signature())
         all_ranks = sorted(gpu.rank for gpu in self.cluster.gpus)
 
+        # Attach the data-plane parties for the duration of the run; the
+        # previous state is restored even when the plan aborts, so one
+        # run's corruptor can never leak into the next runner's pipelines.
+        plane = data_plane()
+        previous = (plane.corruptor, plane.monitor)
+        if self.corruptor is not None:
+            plane.corruptor = self.corruptor
+        if self.monitor is not None:
+            plane.monitor = self.monitor
+        try:
+            return self._run_iterations(report, rng, all_ranks)
+        finally:
+            plane.corruptor, plane.monitor = previous
+
+    def _run_iterations(
+        self, report: ChaosRunReport, rng: np.random.Generator, all_ranks: List[int]
+    ) -> ChaosRunReport:
         for iteration in range(self.plan.iterations):
             # Control-channel partitions: heal the windows ending here
             # before opening the ones starting here.
@@ -317,20 +453,56 @@ class ChaosRunner:
             if all(delay is None for delay in ready.values()):
                 raise ChaosError(f"iteration {iteration}: no worker alive")
 
-            result: AdaptiveResult = self.adaptive.run(
-                strategy,
-                inputs,
-                ready,
-                byte_scale=self.byte_scale,
-                max_chunks=self.max_chunks,
-            )
+            # Integrity retry loop: a detected-corrupted attempt is re-run
+            # (same inputs — they were drawn above, before any retry, so
+            # the rng stream is attempt-independent) until it comes back
+            # clean or the retry budget is spent. Detection may convict
+            # and quarantine a link mid-loop, in which case the retry runs
+            # on the freshly committed strategy.
+            corruption_detections = 0
+            integrity_retries = 0
+            attempt = 0
+            while True:
+                if self.corruptor is not None:
+                    self.corruptor.begin_iteration(iteration)
+                if self.monitor is not None:
+                    self.monitor.begin_iteration(iteration)
+                hop_before = (
+                    len(self.monitor.hop_failures) if self.monitor is not None else 0
+                )
+                result: AdaptiveResult = self.adaptive.run(
+                    strategy,
+                    inputs,
+                    ready,
+                    byte_scale=self.byte_scale,
+                    max_chunks=self.max_chunks,
+                )
+                faulty = (
+                    list(result.fault_report.faulty_ranks)
+                    if result.fault_report is not None
+                    else []
+                )
+                contributors = [rank for rank in participants if rank not in faulty]
+                if self.monitor is None:
+                    break
+                detected, new_strategy = self._integrity_scan(
+                    iteration, hop_before, inputs, contributors, result, strategy
+                )
+                if new_strategy is not None:
+                    strategy = new_strategy
+                if not detected:
+                    break
+                corruption_detections += 1
+                if attempt >= self.monitor.config.max_retries:
+                    break
+                attempt += 1
+                integrity_retries += 1
+                self.monitor.record_retry(attempt, now=self.sim.now)
+                if self.critpath is not None:
+                    # Attribution windows are per-attempt, like the
+                    # per-iteration reset below.
+                    self.critpath.reset()
 
-            faulty = (
-                list(result.fault_report.faulty_ranks)
-                if result.fault_report is not None
-                else []
-            )
-            contributors = [rank for rank in participants if rank not in faulty]
             expected = np.zeros(self.length, dtype=np.float64)
             for rank in contributors:
                 expected += inputs[rank]
@@ -349,6 +521,8 @@ class ChaosRunner:
                     duration=result.duration,
                     epoch=self.control_plane.epoch,
                     coordinator=self.control_plane.coordinator,
+                    corruption_detections=corruption_detections,
+                    integrity_retries=integrity_retries,
                 )
             )
 
@@ -391,4 +565,12 @@ class ChaosRunner:
         report.rollbacks = self.control_plane.transition.rollbacks
         report.replayed_records = self.control_plane.replayed_records_total
         report.log_signature = self.control_plane.log.signature()
+        if self.monitor is not None:
+            self.monitor.finish(now=self.sim.now)
+            report.convictions = list(self.monitor.convicted)
+            report.quarantined_links = self.topology.quarantined_links()
+            report.probe_rounds = self.monitor.probe_rounds_total
+            report.integrity_log = self.monitor.log.to_jsonl()
+        if self.corruptor is not None:
+            report.corruption_trace = self.corruptor.trace_signature()
         return report

@@ -1,0 +1,106 @@
+"""Binary-search localization of a corrupting link.
+
+After a digest mismatch implicates a whole strategy's worth of links, the
+localizer narrows the verdict with targeted out-of-band probe rounds.
+Each round probes *half* of the remaining candidate set — one seeded
+known-payload probe (times ``repeats``) per link in the half, issued in
+parallel — and applies the classic group-testing recursion:
+
+* some probed link came back corrupted → **convicted on direct
+  evidence** (the link's own probe mismatched, never by elimination);
+* the whole half came back clean → the guilty link hides in the other
+  half; drop the probed links and recurse.
+
+Because the final ≤2 candidates are probed exhaustively in one round,
+the guilty link of a deterministically-corrupting fault is always named
+within ``max(1, ceil(log2(n)))`` rounds of ``n`` implicated links — the
+bound the hypothesis property suite pins. An *intermittent* fault may
+stay silent through its own probe window; the search then runs out of
+candidates and returns an inconclusive result rather than guessing,
+which is what makes "a clean link is never convicted" unconditional:
+conviction requires the convicted link's own probe to fail, and probes
+over clean links are never corrupted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+#: A probe: (link, round_index, repeat_index) -> True when the probe's
+#: payload came back corrupted.
+ProbeFn = Callable[[str, int, int], bool]
+
+
+def probe_round_bound(num_candidates: int) -> int:
+    """The localization round bound: ``max(1, ceil(log2(n)))``."""
+    if num_candidates <= 1:
+        return 1
+    return max(1, math.ceil(math.log2(num_candidates)))
+
+
+@dataclass
+class LocalizationResult:
+    """Outcome of one binary-search localization."""
+
+    #: The convicted link, or ``None`` when the search was inconclusive.
+    link: Optional[str]
+    #: Probe rounds spent (≤ :func:`probe_round_bound` of the candidates).
+    rounds: int
+    #: Individual probes issued across all rounds.
+    probes: int
+    #: Size of the implicated candidate set the search started from.
+    candidates: int
+    #: Per-round history: (probed links, dirty links) tuples.
+    history: List[Tuple[Tuple[str, ...], Tuple[str, ...]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def conclusive(self) -> bool:
+        """Whether a link was named (on direct probe evidence)."""
+        return self.link is not None
+
+    @property
+    def within_bound(self) -> bool:
+        """Whether the search respected the log2 probe-round bound."""
+        return self.rounds <= probe_round_bound(self.candidates)
+
+
+class BinarySearchLocalizer:
+    """Narrows a corruption verdict to one link via halving probe rounds."""
+
+    def __init__(self, repeats: int = 2):
+        if repeats < 1:
+            raise ValueError("localization needs at least one probe per link")
+        self.repeats = repeats
+
+    def localize(
+        self, candidates: Sequence[str], probe: ProbeFn
+    ) -> LocalizationResult:
+        """Run the search over ``candidates`` using ``probe`` for evidence."""
+        remaining = list(dict.fromkeys(candidates))
+        result = LocalizationResult(
+            link=None, rounds=0, probes=0, candidates=len(remaining)
+        )
+        while remaining and result.rounds < probe_round_bound(result.candidates):
+            if len(remaining) <= 2:
+                batch, remaining = remaining, []
+            else:
+                half = (len(remaining) + 1) // 2
+                batch, remaining = remaining[:half], remaining[half:]
+            result.rounds += 1
+            dirty: List[str] = []
+            for link in batch:
+                for repeat in range(self.repeats):
+                    result.probes += 1
+                    if probe(link, result.rounds, repeat):
+                        dirty.append(link)
+                        break
+            result.history.append((tuple(batch), tuple(dirty)))
+            if dirty:
+                # Direct evidence: this link's own probe came back bad.
+                result.link = dirty[0]
+                return result
+        return result

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.analysis.config import verification_enabled
 from repro.errors import CommunicatorError
+from repro.integrity.channel import data_plane
 from repro.simulation.engine import Event, Simulator
 from repro.synthesis.strategy import Flow
 from repro.telemetry.core import hub as telemetry_hub
@@ -102,6 +103,10 @@ class ChunkPipeline:
         # allocate no spans.
         _hub = telemetry_hub()
         self._telemetry = _hub if _hub.enabled else None
+        # Same idiom for the data-plane integrity/chaos tap: resolved once
+        # per pipeline, None when nobody is attached.
+        _plane = data_plane()
+        self._data_plane = _plane if _plane.active else None
         #: Flow indices whose data joins *opportunistically*: a late-ready
         #: relay's chunk k is folded into the aggregation at its source
         #: node iff it is ready when chunk k's kernel runs (Sec. IV-C:
@@ -268,7 +273,13 @@ class ChunkPipeline:
                 ).inc(stage=self.tag.split(":", 1)[0])
             out_slot = self.slot(unit, j, k)
             if not out_slot.event.triggered:
-                out_slot.set(slot_in.payload)
+                delivered = slot_in.payload
+                if self._data_plane is not None:
+                    # Checksum stamp/verify and (under chaos) corruption.
+                    delivered = self._data_plane.deliver(
+                        f"{i}->{j}", k, delivered, tag=self.tag, now=self.sim.now
+                    )
+                out_slot.set(delivered)
 
     def _aggregator(
         self,

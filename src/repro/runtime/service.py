@@ -13,7 +13,13 @@ Failure paths (exercised by :mod:`repro.chaos`):
 * **timeout + retry with backoff** — with ``timeout_seconds`` set, once
   the first submission of a round arrives the dispatcher waits at most
   ``timeout_seconds`` for each further one, retrying up to ``max_retries``
-  times with the window growing by ``backoff_factor`` per silent attempt;
+  times with the window growing by ``backoff_factor`` per silent attempt,
+  capped at ``max_backoff_seconds`` (the jitter multiplies the *capped*
+  window, so the cap bounds the expected delay, not the draw order);
+* **terminal retry exhaustion** — with ``fail_on_exhausted=True`` the
+  service raises :class:`~repro.errors.RetryBudgetExhausted` instead of
+  degrading, for deployments where a partial collective is worse than a
+  crash;
 * **graceful degradation** — when retries are exhausted the round executes
   among the ranks that did submit (the strategy provider is asked for a
   strategy on the *shrunk* participant set), the missing ranks receive the
@@ -36,7 +42,9 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.errors import CommunicatorError
+from repro.errors import CommunicatorError, RetryBudgetExhausted
+from repro.integrity.channel import data_plane
+from repro.integrity.checksums import payload_digest
 from repro.runtime.collectives import launch_allreduce
 from repro.runtime.queues import WorkItem, WorkQueues
 from repro.synthesis.strategy import Primitive, Strategy
@@ -84,6 +92,8 @@ class CollectiveService:
         jitter_fraction: float = 0.0,
         rng: Optional[np.random.Generator] = None,
         seed: int = 0,
+        max_backoff_seconds: Optional[float] = None,
+        fail_on_exhausted: bool = False,
     ):
         if timeout_seconds is not None and timeout_seconds <= 0:
             raise CommunicatorError("timeout must be positive")
@@ -93,6 +103,13 @@ class CollectiveService:
             raise CommunicatorError("backoff factor must be >= 1")
         if not 0.0 <= jitter_fraction < 1.0:
             raise CommunicatorError("jitter fraction must be in [0, 1)")
+        if max_backoff_seconds is not None:
+            if timeout_seconds is None:
+                raise CommunicatorError("a backoff cap needs a timeout")
+            if max_backoff_seconds < timeout_seconds:
+                raise CommunicatorError(
+                    "backoff cap must be at least the base timeout"
+                )
         self.topology = topology
         self.sim = topology.cluster.sim
         self.jitter_fraction = jitter_fraction
@@ -110,6 +127,8 @@ class CollectiveService:
         self.timeout_seconds = timeout_seconds
         self.max_retries = max_retries
         self.backoff_factor = backoff_factor
+        self.max_backoff_seconds = max_backoff_seconds
+        self.fail_on_exhausted = fail_on_exhausted
         self.queues: Dict[int, WorkQueues] = {
             gpu.rank: WorkQueues(self.sim, gpu.rank) for gpu in topology.cluster.gpus
         }
@@ -252,6 +271,8 @@ class CollectiveService:
                     self._harvest(items)
                     continue
                 window = self.timeout_seconds * self.backoff_factor**attempts
+                if self.max_backoff_seconds is not None:
+                    window = min(window, self.max_backoff_seconds)
                 if self.jitter_fraction > 0.0:
                     # Spread retries so lock-stepped ranks don't re-probe
                     # in unison; the draw comes from the session RNG, so
@@ -281,6 +302,12 @@ class CollectiveService:
                             "dispatcher timeout windows that expired silently",
                         ).inc()
                     if attempts > self.max_retries:
+                        if self.fail_on_exhausted:
+                            raise RetryBudgetExhausted(
+                                self.executed,
+                                attempts,
+                                [r for r in ranks if r not in items],
+                            )
                         break
             missing = [r for r in ranks if r not in items]
             yield from self._execute(items, missing, attempts)
@@ -311,6 +338,20 @@ class CollectiveService:
         )
         yield pending.done
         result = pending.result()
+        # End-of-collective digest exchange: when an integrity monitor is
+        # attached to the data plane, every rank contributes its *input*
+        # digest and checks the shared output against the sum — catching
+        # corruption the per-hop checksums cannot see (e.g. inside an
+        # aggregation buffer) before the result reaches the framework.
+        monitor = data_plane().monitor
+        if monitor is not None:
+            input_digests = {
+                rank: payload_digest(tensors[rank]) for rank in active
+            }
+            outputs = {rank: result.outputs[rank] for rank in active}
+            monitor.check_collective(
+                input_digests, outputs, site="service", now=self.sim.now
+            )
         for item in work:
             self._served.add(item.sequence)
             self.queues[item.rank].complete(item, result.outputs[item.rank])

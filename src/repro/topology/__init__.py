@@ -1,6 +1,15 @@
 """Logical topology construction and probe-based detection."""
 
-from repro.topology.graph import Edge, EdgeKind, LogicalTopology, NodeId, NodeKind
+from repro.topology.graph import (
+    QUARANTINE_BETA,
+    Edge,
+    EdgeKind,
+    LogicalTopology,
+    NodeId,
+    NodeKind,
+    parse_link,
+    parse_node,
+)
 from repro.topology.detector import DetectionReport, Detector, InstanceReport
 
 __all__ = [
@@ -12,4 +21,7 @@ __all__ = [
     "LogicalTopology",
     "NodeId",
     "NodeKind",
+    "QUARANTINE_BETA",
+    "parse_link",
+    "parse_node",
 ]

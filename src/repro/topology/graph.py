@@ -64,6 +64,22 @@ def gpu_node(rank: int) -> NodeId:
     return NodeId(NodeKind.GPU, rank)
 
 
+def parse_node(text: str) -> NodeId:
+    """Inverse of ``str(NodeId)``: ``"g3"`` → GPU 3, ``"n1"`` → NIC 1."""
+    if len(text) >= 2 and text[0] in ("g", "n") and text[1:].isdigit():
+        kind = NodeKind.GPU if text[0] == "g" else NodeKind.NIC
+        return NodeId(kind, int(text[1:]))
+    raise TopologyError(f"unparseable node name {text!r}")
+
+
+def parse_link(link: str) -> Tuple[NodeId, NodeId]:
+    """Parse a ``"src->dst"`` link name into its endpoint NodeIds."""
+    src, sep, dst = link.partition("->")
+    if not sep:
+        raise TopologyError(f"unparseable link name {link!r}")
+    return parse_node(src), parse_node(dst)
+
+
 def nic_node(instance_id: int, nic_idx: int = 0) -> NodeId:
     """NodeId of a NIC (primary NIC unless ``nic_idx`` given)."""
     index = instance_id if nic_idx == 0 else instance_id * 1000 + nic_idx
@@ -88,6 +104,13 @@ class EdgeKind(enum.Enum):
         return self in (EdgeKind.NVLINK, EdgeKind.NETWORK)
 
 
+#: β (seconds per byte) a quarantined edge reports: ~1e-9 B/s of usable
+#: bandwidth. Finite — the synthesizer's eq.-4 evaluation stays well
+#: defined — but so catastrophic that any widest-tree or cost comparison
+#: routes around the edge whenever an alternative path exists.
+QUARANTINE_BETA = 1e9
+
+
 @dataclass
 class Edge:
     """A directed logical edge with execution path and cost estimates.
@@ -108,15 +131,29 @@ class Edge:
     #: Aggregate α–β of the edge when driven by parallel streams.
     nominal_parallel: Optional[AlphaBeta] = None
     estimate_parallel: Optional[AlphaBeta] = None
+    #: Set by the integrity layer when the link is convicted of silent
+    #: corruption; masks the edge's capacity so synthesis avoids it.
+    quarantined: bool = False
 
     @property
     def effective(self) -> AlphaBeta:
-        """Profiled single-stream α–β when available, nominal otherwise."""
-        return self.estimate if self.estimate is not None else self.nominal
+        """Profiled single-stream α–β when available, nominal otherwise.
+
+        A quarantined edge reports :data:`QUARANTINE_BETA` regardless of
+        estimates: its capacity is masked, not its existence, so strategy
+        synthesis avoids it wherever an alternative path exists but the
+        model never divides by zero.
+        """
+        base = self.estimate if self.estimate is not None else self.nominal
+        if self.quarantined:
+            return AlphaBeta(base.alpha, QUARANTINE_BETA)
+        return base
 
     @property
     def effective_parallel(self) -> AlphaBeta:
         """Profiled parallel-aggregate α–β, nominal otherwise."""
+        if self.quarantined:
+            return self.effective
         if self.estimate_parallel is not None:
             return self.estimate_parallel
         return self.nominal_parallel if self.nominal_parallel is not None else self.effective
@@ -312,6 +349,40 @@ class LogicalTopology:
         for edge in self.edges.values():
             edge.estimate = None
             edge.estimate_parallel = None
+
+    # -- quarantine ----------------------------------------------------------------
+
+    def quarantine_link(self, link: str, both_directions: bool = True) -> List[Edge]:
+        """Mask a convicted link's capacity (``link`` is ``"src->dst"``).
+
+        By default the reverse edge is quarantined too: a corrupting
+        physical link is not to be trusted in either direction. Returns
+        the edges flagged. Unknown links raise — a conviction must name a
+        real edge.
+        """
+        src, dst = parse_link(link)
+        pairs = [(src, dst)]
+        if both_directions and (dst, src) in self.edges:
+            pairs.append((dst, src))
+        flagged = []
+        for a, b in pairs:
+            edge = self.edge(a, b)
+            edge.quarantined = True
+            flagged.append(edge)
+        return flagged
+
+    def quarantined_links(self) -> List[str]:
+        """Names of all quarantined edges, sorted."""
+        return sorted(
+            f"{src}->{dst}"
+            for (src, dst), edge in self.edges.items()
+            if edge.quarantined
+        )
+
+    def clear_quarantine(self) -> None:
+        """Lift every quarantine (test/reset helper)."""
+        for edge in self.edges.values():
+            edge.quarantined = False
 
     def path_edges(self, path: List[NodeId]) -> List[Edge]:
         """Edges along a node path; validates adjacency."""

@@ -35,6 +35,7 @@ CANONICAL = [
     "observe",
     "races",
     "critpath",
+    "integrity",
 ]
 
 
@@ -58,7 +59,7 @@ class TestRegistry:
 
     def test_serial_passes_marked(self):
         serial = {spec.name for spec in iter_passes() if spec.serial}
-        assert serial == {"telemetry", "observe", "races", "critpath"}
+        assert serial == {"telemetry", "observe", "races", "critpath", "integrity"}
 
 
 class TestFindings:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import CommunicatorError
+from repro.errors import CommunicatorError, RetryBudgetExhausted
 from repro.hardware import Cluster, make_homo_cluster
 from repro.runtime.service import CollectiveService
 from repro.simulation import Simulator
@@ -233,3 +233,58 @@ class TestEpochFencing:
         service.advance_epoch(3)  # idempotent re-announcement is fine
         with pytest.raises(CommunicatorError):
             service.advance_epoch(2)
+
+
+class TestRetryBackoffCap:
+    """Satellite: the exponential backoff saturates at a configurable cap,
+    and exhaustion can be a terminal error instead of silent degradation."""
+
+    def test_cap_validation(self):
+        with pytest.raises(CommunicatorError):
+            make_timeout_service(max_backoff_seconds=0.05)  # below the timeout
+        sim = Simulator()
+        cluster = Cluster(sim, make_homo_cluster(num_servers=2))
+        topo = LogicalTopology.from_cluster(cluster)
+        with pytest.raises(CommunicatorError):
+            # A cap without a timeout has nothing to cap.
+            CollectiveService(topo, lambda *a: None, max_backoff_seconds=1.0)
+
+    def test_cap_shortens_the_exhausted_schedule(self):
+        slow = degrade_with_silent_rank(
+            *make_timeout_service(backoff_factor=2.0)
+        )
+        capped = degrade_with_silent_rank(
+            *make_timeout_service(backoff_factor=2.0, max_backoff_seconds=0.1)
+        )
+        # Uncapped: 0.1+0.2+0.4; capped: three 0.1s windows.
+        assert capped.completed_at < slow.completed_at
+        assert capped.completed_at == pytest.approx(0.3, rel=0.05)
+        assert capped.retries == slow.retries
+
+    def test_cap_keeps_seeded_jitter_replayable(self):
+        kwargs = dict(jitter_fraction=0.3, max_backoff_seconds=0.15, seed=11)
+        first = degrade_with_silent_rank(*make_timeout_service(**kwargs))
+        second = degrade_with_silent_rank(*make_timeout_service(**kwargs))
+        assert first.completed_at == second.completed_at
+        assert first.retries == second.retries
+        # The jitter multiplies the *capped* window, so every retry stays
+        # within the jitter envelope of the cap.
+        assert first.completed_at <= (0.1 + 2 * 0.15) * 1.3
+
+    def test_exhaustion_raises_when_configured_terminal(self):
+        sim, service = make_timeout_service(fail_on_exhausted=True)
+        service.start()
+        ranks = sorted(service.queues)
+        tensors = make_tensors(ranks, 64)
+        for rank in ranks:
+            if rank != 3:
+                service.submit(rank, Primitive.ALLREDUCE, tensors[rank])
+        with pytest.raises(RetryBudgetExhausted) as excinfo:
+            sim.run()
+        assert excinfo.value.missing == [3]
+        assert excinfo.value.attempts == 3  # max_retries=2 -> 3 windows
+        assert service.degradations == []
+
+    def test_default_still_degrades_silently(self):
+        record = degrade_with_silent_rank(*make_timeout_service())
+        assert record.retries == 3  # max_retries=2 -> 3 expired windows
