@@ -33,6 +33,7 @@ from repro.analysis.findings import SEVERITIES, severity_rank
 from repro.analysis.passes import (
     run_chaos_pass,
     run_critpath_pass,
+    run_fleet_pass,
     run_integrity_pass,
     run_observe_pass,
     run_race_pass,
@@ -53,6 +54,7 @@ __all__ = [
     "write_baseline",
     "run_chaos_pass",
     "run_critpath_pass",
+    "run_fleet_pass",
     "run_integrity_pass",
     "run_observe_pass",
     "run_race_pass",
@@ -207,6 +209,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="select the data-plane integrity lint; optionally against an "
         "exported integrity JSONL log",
     )
+    parser.add_argument(
+        "--fleet",
+        nargs="?",
+        const=True,
+        default=False,
+        metavar="FILE",
+        help="select the fleet-replay lint; optionally against a merged "
+        "fleet JSONL export",
+    )
     return parser
 
 
@@ -225,6 +236,7 @@ def _selection(args) -> Optional[List[str]]:
             ("races", args.races),
             ("critpath", args.critpath is not False),
             ("integrity", args.integrity is not False),
+            ("fleet", args.fleet is not False),
         )
         if on
     ]
@@ -250,6 +262,8 @@ def main(argv=None) -> int:
         targets["critpath"] = args.critpath
     if isinstance(args.integrity, str):
         targets["integrity"] = args.integrity
+    if isinstance(args.fleet, str):
+        targets["fleet"] = args.fleet
 
     try:
         baseline = load_baseline(Path(args.baseline)) if args.baseline else set()

@@ -644,6 +644,83 @@ def run_integrity_pass(
     return violations
 
 
+def run_fleet_pass(
+    target=None, seed: int = 11, echo: Echo = _silent
+) -> List[Violation]:
+    """Lint a merged fleet export — a given file, or a fresh replay.
+
+    With ``target`` a path, structurally lint that merged fleet JSONL
+    stream. With the bare ``--fleet`` flag, replay the canonical two-job
+    overlap workload twice on one seed and check:
+
+    * replay determinism — the same-seed merged export and report are
+      byte-identical;
+    * the merged stream's structure (job labels on every record,
+      collision-free (job, id) identity, per-job byte conservation
+      across hops, attribution backed by wire evidence);
+    * attribution accuracy against the planted ground truth — precision
+      and recall both exactly 1.0;
+    * fairness sanity — the Jain index stays within [1/n, 1].
+    """
+    from repro.analysis.lint_fleet import lint_fleet_file, lint_fleet_run
+
+    if isinstance(target, str):
+        violations = lint_fleet_file(target)
+        echo(f"fleet: linted {target}")
+        return violations
+
+    from repro.fleet.runner import FleetRunner
+    from repro.fleet.workload import canonical_overlap_workload
+    from repro.telemetry.export import parse_jsonl
+
+    violations: List[Violation] = []
+    subject = f"seed{seed}"
+    result = FleetRunner(canonical_overlap_workload(seed=seed)).run()
+    replay = FleetRunner(canonical_overlap_workload(seed=seed)).run()
+    if (
+        result.merged_jsonl != replay.merged_jsonl
+        or result.report_json() != replay.report_json()
+    ):
+        violations.append(
+            Violation(
+                "fleet-determinism",
+                subject,
+                "same-seed fleet replay produced different export/report bytes",
+            )
+        )
+    violations.extend(lint_fleet_run(parse_jsonl(result.merged_jsonl)))
+    accuracy = result.report["accuracy"]
+    if (
+        accuracy is None
+        or accuracy["precision"] != 1.0
+        or accuracy["recall"] != 1.0
+    ):
+        violations.append(
+            Violation(
+                "fleet-groundtruth",
+                subject,
+                f"attribution accuracy vs planted truth is {accuracy!r}; "
+                "expected precision/recall 1.0",
+            )
+        )
+    fairness = result.report["fairness"]
+    if not fairness["lower_bound"] - 1e-9 <= fairness["jain"] <= 1.0 + 1e-9:
+        violations.append(
+            Violation(
+                "fleet-fairness",
+                subject,
+                f"Jain index {fairness['jain']} outside "
+                f"[{fairness['lower_bound']}, 1]",
+            )
+        )
+    echo(
+        f"fleet: canonical overlap seed {seed} — "
+        f"{len(result.attributions)} attribution(s), Jain "
+        f"{fairness['jain']:.4f}, accuracy {accuracy}"
+    )
+    return violations
+
+
 # -- registration ---------------------------------------------------------------------
 
 
@@ -1016,6 +1093,44 @@ register(
             "simulation",
             "telemetry",
             "analysis/lint_integrity.py",
+        ),
+        serial=True,
+        accepts_target=True,
+    )
+)
+
+register(
+    PassSpec(
+        name="fleet",
+        description="replay the canonical multi-job overlap workload over "
+        "one shared fabric and lint the merged per-job export, replay "
+        "determinism, and interference attribution against the planted "
+        "ground truth (or lint a given fleet JSONL file)",
+        title="fleet lint",
+        rules=_err(
+            ("fleet-io", "fleet export unreadable"),
+            ("fleet-schema", "merged stream header/label schema malformed"),
+            ("fleet-identity", "record ids collide within a job's stream"),
+            ("fleet-conservation", "a job's chunk changed size across hops"),
+            ("fleet-attribution", "attribution not backed by wire evidence"),
+            ("fleet-determinism", "same-seed replay not byte-identical"),
+            ("fleet-groundtruth", "attribution precision/recall below 1.0"),
+            ("fleet-fairness", "Jain index outside its bounds"),
+        ),
+        run=lambda ctx: from_violations(
+            run_fleet_pass(target=ctx.target, echo=ctx.echo), "fleet"
+        ),
+        inputs=(
+            "fleet",
+            "observe",
+            "telemetry",
+            "critpath",
+            "synthesis",
+            "runtime",
+            "relay",
+            "hardware",
+            "simulation",
+            "analysis/lint_fleet.py",
         ),
         serial=True,
         accepts_target=True,

@@ -9,7 +9,11 @@ speedups the paper quotes. The simulator is deterministic, so the file
 is byte-stable across runs of the same code — which is what makes it a
 committable perf baseline. With ``--jobs N`` the 52 cells fan out across
 worker processes (:mod:`repro.bench.sweep`) and the aggregate stays
-byte-identical to a serial run.
+byte-identical to a serial run. Full (non-quick) runs additionally carry
+a top-level ``fleet`` block — the canonical two-job overlap replay's
+per-job goodput, Jain fairness index, and attribution accuracy
+(:func:`repro.bench.grid.measure_fleet`); older baselines without the
+block still gate cleanly under ``--check``.
 
 Modes:
 
@@ -53,6 +57,7 @@ from repro.bench.grid import (  # noqa: F401 - re-exports
     compare_payloads,
     measure_all,
     measure_figure,
+    measure_fleet,
 )
 from repro.bench.report import Table, bench_dir, write_bench_payload
 from repro.bench.sweep import SweepError, run_sweep
@@ -274,8 +279,24 @@ def main(argv=None) -> int:
     except SweepError as exc:
         print(f"FAIL bench: {exc}")
         return 1
+    if not args.quick:
+        # Full runs carry the fleet observability cell; quick smoke runs
+        # skip its replay to stay fast.
+        payload["fleet"] = measure_fleet()
     render_tables(payload)
     render_timings(timings)
+    if "fleet" in payload:
+        fleet = payload["fleet"]
+        accuracy = fleet["attribution_accuracy"]
+        goodput = ", ".join(
+            f"{name} {value / 1e9:.2f} GB/s"
+            for name, value in sorted(fleet["goodput"].items())
+        )
+        print(
+            f"fleet: {goodput}; Jain {fleet['jain']:.4f}; attribution "
+            f"precision {accuracy['precision']:.2f} / recall "
+            f"{accuracy['recall']:.2f}"
+        )
 
     problems: List[str] = []
     if args.budgets is not False:

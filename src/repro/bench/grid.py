@@ -206,6 +206,33 @@ def measure_all(figures: Sequence[str], quick: bool = False) -> Dict:
     return assemble_payload(blocks, quick=quick)
 
 
+def measure_fleet(seed: int = 11) -> Dict:
+    """The fleet observability cell: the canonical two-job overlap replay.
+
+    Not a bandwidth cell — it rides the full bench run as an additive
+    top-level ``fleet`` block (``compare_payloads`` only walks
+    ``figures``, so older baselines still gate cleanly) and records the
+    multi-job numbers the fleet layer is supposed to hold: per-job
+    goodput, the Jain fairness index, and attribution accuracy against
+    the workload generator's planted ground truth. Deterministic, like
+    every other cell.
+    """
+    from repro.fleet import canonical_overlap_workload, replay
+
+    report = replay(canonical_overlap_workload(seed=seed)).report
+    return {
+        "seed": seed,
+        "goodput": {
+            name: row["goodput"] for name, row in report["jobs"].items()
+        },
+        "jain": report["fairness"]["jain"],
+        "attribution_accuracy": {
+            "precision": report["accuracy"]["precision"],
+            "recall": report["accuracy"]["recall"],
+        },
+    }
+
+
 def compare_payloads(
     current: Dict, baseline: Dict, tolerance: float = DEFAULT_TOLERANCE
 ) -> List[str]:

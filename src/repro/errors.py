@@ -124,3 +124,9 @@ class ObserveError(ReproError):
     """Observe-watchdog misuse: invalid detector parameters, a watchdog
     attached without an enabled telemetry stream, or malformed verdict
     logs."""
+
+
+class FleetError(ReproError):
+    """Fleet-replay misuse: malformed workload traces (overlapping rank
+    sets, unsorted op schedules, unknown collective kinds), ranks outside
+    the cluster, or a replay that deadlocks on the shared fabric."""

@@ -1,0 +1,260 @@
+"""Fleet aggregation: per-job goodput, fairness, contention, attribution.
+
+:class:`FleetAggregator` folds the runner's per-job outcomes into one
+deterministic fleet report:
+
+* **goodput** — payload bytes completed per second of job makespan;
+* **fairness** — Jain's index over the jobs' goodputs
+  (``(Σx)² / (n·Σx²)``, 1 at perfect equality, 1/n at total capture);
+* **contention timelines** — per physical link, the seconds during which
+  two or more jobs' chunk transfers overlapped, and which jobs ever
+  touched the link;
+* **attribution accuracy** — the runner's cross-job interference
+  attributions scored against the workload generator's ground truth:
+  a prediction is correct iff its (victim, aggressor) pair matches a
+  planted window and its evidence window overlaps that window (extended
+  to the aggressor's actual last-op completion, since traffic launched
+  inside the window keeps flowing past its nominal end).
+
+Everything is pure arithmetic over already-collected data — no simulator,
+no randomness — so the report is byte-stable for byte-identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FleetError
+
+#: Overlap below this (seconds) is numerical noise, not contention.
+OVERLAP_TOL = 1e-9
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index over non-negative allocations."""
+    if not values:
+        raise FleetError("fairness index needs at least one allocation")
+    if any(value < 0 for value in values):
+        raise FleetError("allocations must be non-negative")
+    total = float(sum(values))
+    squares = float(sum(value * value for value in values))
+    if squares == 0.0:
+        return 1.0  # all-zero: degenerate but perfectly equal
+    return (total * total) / (len(values) * squares)
+
+
+def _merge_intervals(intervals: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Coalesce possibly-overlapping [start, end) intervals."""
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1] + OVERLAP_TOL:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def overlap_seconds(
+    intervals: Sequence[Tuple[float, float]], window: Tuple[float, float]
+) -> float:
+    """Total length of ``intervals ∩ window`` (intervals may overlap)."""
+    start, end = window
+    clipped = [
+        (max(lo, start), min(hi, end))
+        for lo, hi in intervals
+        if min(hi, end) - max(lo, start) > OVERLAP_TOL
+    ]
+    return sum(hi - lo for lo, hi in _merge_intervals(clipped))
+
+
+@dataclass(frozen=True)
+class JobSummary:
+    """One job's replay outcome, as the runner measured it."""
+
+    name: str
+    ranks: Tuple[int, ...]
+    ops_total: int
+    ops_completed: int
+    bytes_completed: float
+    first_launch: float
+    last_finish: float
+    verdicts: int
+    reprobes: int
+    resyntheses: int
+
+    @property
+    def makespan(self) -> float:
+        """Wall time from first launch to last completion."""
+        return max(0.0, self.last_finish - self.first_launch)
+
+    @property
+    def goodput(self) -> float:
+        """Payload bytes per second over the job's makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.bytes_completed / self.makespan
+
+
+@dataclass(frozen=True)
+class FleetAttribution:
+    """One cross-job interference attribution the runner produced."""
+
+    victim: str
+    aggressor: str
+    link: str
+    verdict_id: str
+    kind: str
+    iteration: int
+    window_start: float
+    window_end: float
+    overlap_seconds: float
+
+    def to_record(self) -> Dict:
+        return {
+            "victim": self.victim,
+            "aggressor": self.aggressor,
+            "link": self.link,
+            "verdict": self.verdict_id,
+            "kind": self.kind,
+            "iteration": self.iteration,
+            "window_start": self.window_start,
+            "window_end": self.window_end,
+            "overlap_seconds": self.overlap_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class ScoringWindow:
+    """A ground-truth window widened to the aggressor's real traffic end."""
+
+    victim: str
+    aggressor: str
+    start: float
+    end: float
+
+    def matches(self, attribution: FleetAttribution) -> bool:
+        return (
+            attribution.victim == self.victim
+            and attribution.aggressor == self.aggressor
+            and attribution.window_start <= self.end + OVERLAP_TOL
+            and attribution.window_end >= self.start - OVERLAP_TOL
+        )
+
+
+def score_attributions(
+    attributions: Sequence[FleetAttribution],
+    truths: Sequence[ScoringWindow],
+) -> Optional[Dict]:
+    """Precision/recall of the attributions against planted ground truth.
+
+    Returns ``None`` when the workload planted nothing (generated traces:
+    emergent overlap has no labels to score against).
+    """
+    if not truths:
+        return None
+    correct = sum(
+        1
+        for attribution in attributions
+        if any(truth.matches(attribution) for truth in truths)
+    )
+    covered = sum(
+        1
+        for truth in truths
+        if any(truth.matches(attribution) for attribution in attributions)
+    )
+    predictions = len(attributions)
+    return {
+        "predictions": predictions,
+        "correct": correct,
+        "truths": len(truths),
+        "covered": covered,
+        "precision": correct / predictions if predictions else 0.0,
+        "recall": covered / len(truths),
+    }
+
+
+class FleetAggregator:
+    """Folds per-job outcomes into one deterministic fleet report."""
+
+    def __init__(
+        self,
+        summaries: Sequence[JobSummary],
+        occupancy: Dict[str, Dict[str, List[Tuple[float, float]]]],
+        attributions: Sequence[FleetAttribution],
+        truths: Sequence[ScoringWindow] = (),
+        seed: int = 0,
+    ):
+        if not summaries:
+            raise FleetError("aggregation needs at least one job summary")
+        self.summaries = sorted(summaries, key=lambda summary: summary.name)
+        #: job name -> link name -> busy intervals of that job on the link.
+        self.occupancy = occupancy
+        self.attributions = list(attributions)
+        self.truths = list(truths)
+        self.seed = seed
+
+    def contention(self) -> Dict[str, Dict]:
+        """Per-link multi-job contention: seconds with ≥2 jobs active."""
+        links: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+        for job, per_link in self.occupancy.items():
+            for link, intervals in per_link.items():
+                if intervals:
+                    links.setdefault(link, {})[job] = _merge_intervals(list(intervals))
+        report = {}
+        for link in sorted(links):
+            per_job = links[link]
+            boundaries = sorted(
+                {t for intervals in per_job.values() for pair in intervals for t in pair}
+            )
+            contended = 0.0
+            for lo, hi in zip(boundaries, boundaries[1:]):
+                mid = (lo + hi) / 2.0
+                active = sum(
+                    1
+                    for intervals in per_job.values()
+                    if any(start <= mid < end for start, end in intervals)
+                )
+                if active >= 2:
+                    contended += hi - lo
+            report[link] = {
+                "jobs": sorted(per_job),
+                "contended_seconds": contended,
+            }
+        return report
+
+    def fairness(self) -> Dict:
+        """Jain's index over the jobs' goodputs."""
+        goodputs = [summary.goodput for summary in self.summaries]
+        return {
+            "jain": jain_index(goodputs),
+            "n": len(goodputs),
+            "lower_bound": 1.0 / len(goodputs),
+        }
+
+    def report(self) -> Dict:
+        """The full fleet report (JSON-ready, deterministic)."""
+        return {
+            "schema": 1,
+            "seed": self.seed,
+            "jobs": {
+                summary.name: {
+                    "ranks": list(summary.ranks),
+                    "ops_total": summary.ops_total,
+                    "ops_completed": summary.ops_completed,
+                    "bytes_completed": summary.bytes_completed,
+                    "first_launch": summary.first_launch,
+                    "last_finish": summary.last_finish,
+                    "makespan": summary.makespan,
+                    "goodput": summary.goodput,
+                    "verdicts": summary.verdicts,
+                    "reprobes": summary.reprobes,
+                    "resyntheses": summary.resyntheses,
+                }
+                for summary in self.summaries
+            },
+            "fairness": self.fairness(),
+            "contention": self.contention(),
+            "attributions": [a.to_record() for a in self.attributions],
+            "accuracy": score_attributions(self.attributions, self.truths),
+        }

@@ -117,10 +117,15 @@ class _Run:
             for rank in strategy.participants
         }
         self._span = None
+        # Captured at construction so a deferred end_trace (fired from a
+        # completion callback) lands on the hub that opened the span even
+        # if the process-global hub has been swapped since — fleet replay
+        # swaps a per-job hub around each launch.
+        self._telemetry = telemetry_hub()
 
     def begin_trace(self, name: str) -> "_Run":
         """Open one ``category="collective"`` span for this invocation."""
-        telemetry = telemetry_hub()
+        telemetry = self._telemetry
         if telemetry.enabled:
             self._span = telemetry.begin(
                 name,
@@ -140,7 +145,7 @@ class _Run:
         if span is None:
             return
         self._span = None
-        telemetry = telemetry_hub()
+        telemetry = self._telemetry
         telemetry.end(span, finished)
         telemetry.metrics.histogram(
             "collective_seconds", "wall time of executed collectives"
@@ -705,13 +710,25 @@ def run_alltoall(
     if strategy.primitive is not Primitive.ALLTOALL:
         raise CommunicatorError(f"run_alltoall got a {strategy.primitive.value} strategy")
     run = _Run(topology, strategy, inputs, None, ready_times, byte_scale, max_chunks)
+    run.begin_trace("alltoall")
+    events, pipelines, position, block = _build_alltoall(run, strategy)
+    finished = run.finish(events)
+    run.end_trace(finished)
+    outputs = _collect_alltoall_outputs(run, strategy, inputs, pipelines, position, block)
+    return CollectiveResult(
+        outputs=outputs, started=run.started, finished=finished, ready_at=run.ready_at
+    )
+
+
+def _build_alltoall(run: "_Run", strategy: Strategy):
+    """Launch the per-pair AlltoAll pipelines; returns (events, pipelines,
+    position, block)."""
     ranks = sorted(strategy.participants)
     world = len(ranks)
     if run.length % world != 0:
         raise CommunicatorError(
             f"AlltoAll needs tensor length divisible by world size ({run.length} % {world})"
         )
-    run.begin_trace("alltoall")
     block = run.length // world
     position = {rank: pos for pos, rank in enumerate(ranks)}
 
@@ -740,7 +757,7 @@ def run_alltoall(
             )
 
         pipeline = ChunkPipeline(
-            topology,
+            run.topology,
             flows,
             num_chunks=len(chunks),
             chunk_bytes=_chunk_bytes(chunks, run.itemsize),
@@ -750,9 +767,12 @@ def run_alltoall(
         )
         events.append(pipeline.start())
         pipelines.append((sc, sub_start, sub_end, pipeline))
-    finished = run.finish(events)
-    run.end_trace(finished)
+    return events, pipelines, position, block
 
+
+def _collect_alltoall_outputs(run: "_Run", strategy: Strategy, inputs, pipelines, position, block):
+    """Assemble per-rank AlltoAll outputs after the pipelines complete."""
+    ranks = sorted(strategy.participants)
     outputs = {rank: np.zeros(run.length, dtype=run.dtype) for rank in ranks}
     for rank in ranks:
         base = position[rank] * block
@@ -763,6 +783,35 @@ def run_alltoall(
             payload = pipeline.gather(("flow", idx), flow.dst)
             base = position[src_rank] * block
             outputs[dst_rank][base + sub_start : base + sub_end] = payload
-    return CollectiveResult(
-        outputs=outputs, started=run.started, finished=finished, ready_at=run.ready_at
-    )
+    return outputs
+
+
+def launch_alltoall(
+    topology: LogicalTopology,
+    strategy: Strategy,
+    inputs: Dict[int, np.ndarray],
+    ready_times: Optional[Dict[int, float]] = None,
+    byte_scale: float = 1.0,
+    max_chunks: Optional[int] = None,
+) -> PendingCollective:
+    """Non-blocking AlltoAll: start the pipelines and return a handle.
+
+    Semantics match :func:`run_alltoall`; the caller drives the simulator
+    and reads ``pending.result()`` once ``pending.done`` has fired.
+    Concurrent jobs in fleet replay launch through this so their AlltoAll
+    traffic overlaps other jobs' collectives on the shared fabric.
+    """
+    if strategy.primitive is not Primitive.ALLTOALL:
+        raise CommunicatorError(
+            f"launch_alltoall got a {strategy.primitive.value} strategy"
+        )
+    run = _Run(topology, strategy, inputs, None, ready_times, byte_scale, max_chunks)
+    run.begin_trace("alltoall")
+    events, pipelines, position, block = _build_alltoall(run, strategy)
+    done = run.sim.all_of(list(events))
+    done.add_callback(lambda _evt: run.end_trace(run.sim.now))
+
+    def finalize() -> Dict[int, np.ndarray]:
+        return _collect_alltoall_outputs(run, strategy, inputs, pipelines, position, block)
+
+    return PendingCollective(run, done, finalize)

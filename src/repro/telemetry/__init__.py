@@ -24,6 +24,7 @@ from repro.telemetry.bridge import TelemetryRecorder, network_recorder
 from repro.telemetry.core import (
     ENV_TELEMETRY,
     Span,
+    TelemetryConsumer,
     TelemetryHub,
     Tracer,
     hub,
@@ -58,6 +59,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Span",
+    "TelemetryConsumer",
     "TelemetryHub",
     "TelemetryRecorder",
     "TelemetryRun",

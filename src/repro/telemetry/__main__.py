@@ -6,7 +6,9 @@ Two subcommands:
   utilization table, ski-rental decision table, and a chronological
   decision log (synthesis choices, relay verdicts, chaos events, service
   degradations); ``--top N`` appends the N slowest spans of each span
-  kind;
+  kind; ``--group-by <label>`` splits the tables by a record label (e.g.
+  ``--group-by job`` on a merged fleet stream gives one table set per
+  job);
 * ``chrome <run.jsonl> [-o out.trace.json]`` — convert a JSONL run into
   Chrome trace-event JSON for Perfetto / ``chrome://tracing``.
 """
@@ -113,18 +115,33 @@ def _decision_log(run: TelemetryRun) -> List[str]:
     return lines
 
 
-def summarize(path: str, top: int = 0) -> int:
-    """Print the run summary; returns a process exit code.
+def _split_by_label(run: TelemetryRun, label: str) -> List[tuple]:
+    """(group, sub-run) pairs splitting ``run`` by one record label.
 
-    With ``top > 0`` a slowest-spans table (grouped by span kind) is
-    appended to the standard tables.
+    Records without the label land in the ``"(unlabeled)"`` group; groups
+    come out sorted, unlabeled last. Metrics stay with the whole run (a
+    merged fleet stream carries one per-job metrics map, printed once).
     """
-    run = read_jsonl(path)
-    meta = run.meta
-    print(
-        f"run: {path} (schema {meta.get('schema', '?')}, {meta.get('clock', '?')} clock, "
-        f"{len(run.spans)} spans, {len(run.events)} events)\n"
-    )
+    groups = {}
+    for record in run.records:
+        value = record.get("labels", {}).get(label)
+        key = "(unlabeled)" if value is None else str(value)
+        sub = groups.get(key)
+        if sub is None:
+            sub = groups[key] = TelemetryRun(meta=run.meta)
+        sub.records.append(record)
+        if record.get("type") == "span":
+            sub.spans.append(record)
+        elif record.get("type") == "event":
+            sub.events.append(record)
+    ordered = sorted(key for key in groups if key != "(unlabeled)")
+    if "(unlabeled)" in groups:
+        ordered.append("(unlabeled)")
+    return [(key, groups[key]) for key in ordered]
+
+
+def _show_tables(run: TelemetryRun, top: int) -> bool:
+    """Print the standard table set for one (sub-)run; True if any shown."""
     shown = False
     tables = [_collective_table(run), _link_table(run), _decision_table(run)]
     if top > 0:
@@ -140,6 +157,31 @@ def summarize(path: str, top: int = 0) -> int:
         print("\n".join(log))
         print()
         shown = True
+    return shown
+
+
+def summarize(path: str, top: int = 0, group_by: Optional[str] = None) -> int:
+    """Print the run summary; returns a process exit code.
+
+    With ``top > 0`` a slowest-spans table (grouped by span kind) is
+    appended to the standard tables. With ``group_by`` set, the tables are
+    printed once per value of that record label — the fleet workflow is
+    ``summarize merged.jsonl --group-by job``.
+    """
+    run = read_jsonl(path)
+    meta = run.meta
+    print(
+        f"run: {path} (schema {meta.get('schema', '?')}, {meta.get('clock', '?')} clock, "
+        f"{len(run.spans)} spans, {len(run.events)} events)\n"
+    )
+    shown = False
+    if group_by is not None:
+        for key, sub in _split_by_label(run, group_by):
+            print(f"=== {group_by}={key} "
+                  f"({len(sub.spans)} spans, {len(sub.events)} events) ===\n")
+            shown = _show_tables(sub, top) or shown
+    else:
+        shown = _show_tables(run, top)
     if run.metrics:
         print("Metrics")
         print("-------")
@@ -182,13 +224,20 @@ def main(argv=None) -> int:
         metavar="N",
         help="also show the N slowest spans of each span kind",
     )
+    p_sum.add_argument(
+        "--group-by",
+        default=None,
+        metavar="LABEL",
+        help="split the tables by a record label (e.g. 'job' for merged "
+        "fleet streams)",
+    )
     p_chrome = sub.add_parser("chrome", help="convert a JSONL run to Chrome trace JSON")
     p_chrome.add_argument("run", help="path to a JSONL run file")
     p_chrome.add_argument("-o", "--output", default=None, help="output path")
     args = parser.parse_args(argv)
     try:
         if args.command == "summarize":
-            return summarize(args.run, top=args.top)
+            return summarize(args.run, top=args.top, group_by=args.group_by)
         return chrome(args.run, args.output)
     except (TelemetryError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -219,10 +219,18 @@ class TelemetryHub:
     build the argument dict at all.
     """
 
-    def __init__(self, enabled: bool = False):
+    def __init__(
+        self,
+        enabled: bool = False,
+        labels: Optional[Dict[str, str]] = None,
+    ):
         self.enabled = bool(enabled)
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
+        #: Labels stamped onto every exported record (``{}`` = no-op).
+        #: Fleet replay tags per-job hubs with ``{"job": name}`` so merged
+        #: streams stay attributable without touching span ids.
+        self.labels: Dict[str, str] = dict(labels or {})
         #: Live streaming consumers (see :class:`TelemetryConsumer`).
         self._consumers: List[TelemetryConsumer] = []
 
@@ -281,7 +289,10 @@ class TelemetryHub:
         """Close a span returned by :meth:`begin` (``None`` is ignored)."""
         if span is not None:
             self.tracer.end(span, end)
-            for consumer in self._consumers:
+            # Snapshot: a consumer that (un)subscribes during dispatch must
+            # not make its neighbours skip or double-receive this record,
+            # and a consumer subscribed mid-dispatch must not see it.
+            for consumer in tuple(self._consumers):
                 consumer.on_span(span)
 
     def instant(self, name: str, ts: float, **kwargs: Any) -> Optional[Span]:
@@ -289,7 +300,7 @@ class TelemetryHub:
         if not self.enabled:
             return None
         event = self.tracer.instant(name, ts, **kwargs)
-        for consumer in self._consumers:
+        for consumer in tuple(self._consumers):
             consumer.on_event(event)
         return event
 

@@ -32,8 +32,10 @@ def _dumps(obj: Any) -> str:
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 
-def _span_record(span: Span, record_type: str) -> Dict[str, Any]:
-    return {
+def _span_record(
+    span: Span, record_type: str, labels: Optional[Dict[str, str]] = None
+) -> Dict[str, Any]:
+    record = {
         "type": record_type,
         "id": span.span_id,
         "parent": span.parent_id,
@@ -44,30 +46,52 @@ def _span_record(span: Span, record_type: str) -> Dict[str, Any]:
         "end": span.end,
         "args": span.args,
     }
+    if labels:
+        record["labels"] = labels
+    return record
 
 
 def _ordered_records(hub: TelemetryHub) -> List[Dict[str, Any]]:
-    entries = [(s.start, s.seq, _span_record(s, "span")) for s in hub.tracer.spans]
-    entries.extend((e.start, e.seq, _span_record(e, "event")) for e in hub.tracer.events)
+    # Hub labels are stamped onto every record; an unlabeled hub emits
+    # byte-identical output to before labels existed (no empty key).
+    labels = getattr(hub, "labels", None) or None
+    entries = [(s.start, s.seq, _span_record(s, "span", labels)) for s in hub.tracer.spans]
+    entries.extend(
+        (e.start, e.seq, _span_record(e, "event", labels)) for e in hub.tracer.events
+    )
     entries.sort(key=lambda item: (item[0], item[1]))
     return [record for _start, _seq, record in entries]
 
 
+def ordered_records(hub: TelemetryHub) -> List[Dict[str, Any]]:
+    """One hub's label-stamped span/event records in export order.
+
+    The fleet merger interleaves several per-job hubs into one stream; it
+    needs each hub's records exactly as :func:`to_jsonl` would emit them
+    (same ordering, same label stamping) without the per-hub meta/metrics
+    framing.
+    """
+    return _ordered_records(hub)
+
+
 def to_jsonl(hub: TelemetryHub, clock: str = "sim") -> str:
     """Serialize one hub's collected run as JSONL text."""
-    lines = [
-        _dumps(
-            {
-                "type": "meta",
-                "schema": SCHEMA_VERSION,
-                "clock": clock,
-                "spans": len(hub.tracer.spans),
-                "events": len(hub.tracer.events),
-            }
-        )
-    ]
+    meta: Dict[str, Any] = {
+        "type": "meta",
+        "schema": SCHEMA_VERSION,
+        "clock": clock,
+        "spans": len(hub.tracer.spans),
+        "events": len(hub.tracer.events),
+    }
+    labels = getattr(hub, "labels", None)
+    if labels:
+        meta["labels"] = labels
+    lines = [_dumps(meta)]
     lines.extend(_dumps(record) for record in _ordered_records(hub))
-    lines.append(_dumps({"type": "metrics", "metrics": hub.metrics.snapshot()}))
+    tail: Dict[str, Any] = {"type": "metrics", "metrics": hub.metrics.snapshot()}
+    if labels:
+        tail["labels"] = labels
+    lines.append(_dumps(tail))
     return "\n".join(lines) + "\n"
 
 

@@ -8,6 +8,15 @@ server every 5 minutes, with a *CPU interference level* from 0 % to 400 %.
 The model maps an interference level L to a compute slowdown
 ``1 + slowdown_per_100 × L/100`` on the victim GPUs and re-rolls victims
 every ``reroll_seconds``.
+
+.. deprecated:: use :mod:`repro.fleet` for network contention.
+   This model injects *synthetic* compute slowdowns. Where the dynamics
+   under study are link-level — concurrent jobs contending for the shared
+   fabric — prefer :class:`repro.fleet.FleetRunner`, which generates real
+   contending traffic from concurrent jobs and attributes the resulting
+   slowdowns to the aggressor job (DESIGN.md §14). This model remains the
+   right tool for the paper's Sec. VI-D *compute-side* (CPU cache/memory
+   bandwidth) interference experiment, which fleet replay does not cover.
 """
 
 from __future__ import annotations

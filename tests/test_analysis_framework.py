@@ -36,6 +36,7 @@ CANONICAL = [
     "races",
     "critpath",
     "integrity",
+    "fleet",
 ]
 
 
@@ -59,7 +60,14 @@ class TestRegistry:
 
     def test_serial_passes_marked(self):
         serial = {spec.name for spec in iter_passes() if spec.serial}
-        assert serial == {"telemetry", "observe", "races", "critpath", "integrity"}
+        assert serial == {
+            "telemetry",
+            "observe",
+            "races",
+            "critpath",
+            "integrity",
+            "fleet",
+        }
 
 
 class TestFindings:

@@ -31,6 +31,7 @@ from repro.hardware.presets import make_config, make_homo_cluster
 from repro.simulation.records import TraceRecorder
 from repro.telemetry import (
     MetricsRegistry,
+    TelemetryConsumer,
     TelemetryHub,
     Tracer,
     hub,
@@ -127,6 +128,130 @@ class TestHub:
     def test_set_hub_rejects_non_hub(self):
         with pytest.raises(TelemetryError):
             set_hub("not a hub")
+
+
+class _Recording(TelemetryConsumer):
+    """Test consumer that logs every delivery, optionally acting mid-dispatch."""
+
+    def __init__(self, name, log, action=None):
+        self.name = name
+        self.log = log
+        self.action = action
+
+    def _deliver(self, record):
+        self.log.append((self.name, record.name))
+        if self.action is not None:
+            action, self.action = self.action, None
+            action()
+
+    def on_span(self, span):
+        self._deliver(span)
+
+    def on_event(self, event):
+        self._deliver(event)
+
+
+class TestConsumerDispatch:
+    """Satellite: (un)subscribing during dispatch must not skip or
+    double-deliver records to the other consumers."""
+
+    def test_unsubscribe_during_event_dispatch_does_not_skip_next(self):
+        live = TelemetryHub(enabled=True)
+        log = []
+        first = _Recording("first", log)
+        first.action = lambda: live.unsubscribe(first)
+        second = _Recording("second", log)
+        live.subscribe(first)
+        live.subscribe(second)
+        live.instant("e1", 0.0)
+        # Without snapshotting, first's self-removal shifts the list and
+        # second misses e1 entirely.
+        assert log == [("first", "e1"), ("second", "e1")]
+        live.instant("e2", 1.0)
+        assert log == [("first", "e1"), ("second", "e1"), ("second", "e2")]
+
+    def test_unsubscribe_during_span_dispatch_does_not_skip_next(self):
+        live = TelemetryHub(enabled=True)
+        log = []
+        first = _Recording("first", log)
+        first.action = lambda: live.unsubscribe(first)
+        second = _Recording("second", log)
+        live.subscribe(first)
+        live.subscribe(second)
+        span = live.begin("s1", 0.0)
+        live.end(span, 1.0)
+        assert log == [("first", "s1"), ("second", "s1")]
+
+    def test_subscribe_during_dispatch_defers_to_the_next_record(self):
+        live = TelemetryHub(enabled=True)
+        log = []
+        late = _Recording("late", log)
+        first = _Recording("first", log)
+        first.action = lambda: live.subscribe(late)
+        live.subscribe(first)
+        live.instant("e1", 0.0)
+        # The in-flight record predates late's subscription.
+        assert log == [("first", "e1")]
+        live.instant("e2", 1.0)
+        assert log == [("first", "e1"), ("first", "e2"), ("late", "e2")]
+
+    def test_no_double_delivery_when_a_consumer_resubscribes_mid_dispatch(self):
+        live = TelemetryHub(enabled=True)
+        log = []
+        first = _Recording("first", log)
+
+        def churn():
+            live.unsubscribe(first)
+            live.subscribe(first)
+
+        first.action = churn
+        second = _Recording("second", log)
+        live.subscribe(first)
+        live.subscribe(second)
+        live.instant("e1", 0.0)
+        assert log == [("first", "e1"), ("second", "e1")]
+
+
+class TestHubLabels:
+    """Satellite: hub labels stamp every exported record, no-op when empty."""
+
+    def test_labels_stamped_on_every_record_and_meta(self):
+        labeled = TelemetryHub(enabled=True, labels={"job": "alpha"})
+        span = labeled.begin("s", 0.0, category="c", track="t")
+        labeled.end(span, 1.0)
+        labeled.instant("e", 0.5)
+        run = parse_jsonl(to_jsonl(labeled))
+        assert run.meta["labels"] == {"job": "alpha"}
+        assert run.records, "expected exported records"
+        for record in run.records:
+            assert record["labels"] == {"job": "alpha"}
+
+    def test_empty_labels_leave_export_byte_identical(self):
+        def export(hub_):
+            span = hub_.begin("s", 0.0, category="c", track="t")
+            hub_.end(span, 1.0)
+            return to_jsonl(hub_)
+
+        bare = export(TelemetryHub(enabled=True))
+        empty = export(TelemetryHub(enabled=True, labels={}))
+        assert bare == empty
+        assert '"labels"' not in bare
+
+    def test_same_seed_labeled_exports_byte_identical(self):
+        def labeled_export(seed):
+            fresh = TelemetryHub(enabled=True, labels={"job": "j0"})
+            previous = set_hub(fresh)
+            try:
+                _run_session(seed=seed)
+                return to_jsonl(fresh)
+            finally:
+                set_hub(previous)
+
+        first = labeled_export(CHAOS_SEED)
+        second = labeled_export(CHAOS_SEED)
+        assert first == second
+        run = parse_jsonl(first)
+        assert all(r["labels"] == {"job": "j0"} for r in run.records)
 
 
 # -- metrics --------------------------------------------------------------------
